@@ -1,0 +1,241 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation at
+reproduction scale.  The expensive artifacts — pre-trained LLM substitute,
+datasets, trained baselines and NetLLM adaptations — are built once per
+pytest session here and shared across the figure benchmarks, mirroring how
+the paper trains once and evaluates across settings.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (default) finishes in a few minutes on a laptop CPU; ``full``
+increases traces/samples/iterations for tighter estimates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.abr import (
+    ABR_SETTINGS,
+    ABREnvironment,
+    BBAPolicy,
+    MPCPolicy,
+    build_setting,
+    train_genet,
+)
+from repro.cjs import CJS_SETTINGS, build_workload, train_decima
+from repro.core import adapt_abr, adapt_cjs, adapt_vp, rl_collect_abr, rl_collect_cjs
+from repro.llm import build_llm
+from repro.vp import VP_SETTINGS, ViewportDataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs controlling benchmark effort."""
+
+    name: str
+    vp_videos: int
+    vp_viewers: int
+    vp_seconds: float
+    vp_iterations: int
+    abr_traces: int
+    abr_iterations: int
+    cjs_workloads: int
+    cjs_iterations: int
+    pretrain_steps: int
+
+
+SCALES = {
+    "small": BenchScale("small", vp_videos=4, vp_viewers=8, vp_seconds=60.0, vp_iterations=600,
+                        abr_traces=8, abr_iterations=500, cjs_workloads=3, cjs_iterations=400,
+                        pretrain_steps=40),
+    "full": BenchScale("full", vp_videos=8, vp_viewers=12, vp_seconds=60.0, vp_iterations=1000,
+                       abr_traces=16, abr_iterations=800, cjs_workloads=5, cjs_iterations=700,
+                       pretrain_steps=80),
+}
+
+
+def get_scale() -> BenchScale:
+    return SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+
+
+def save_results(name: str, payload: Dict) -> None:
+    """Persist a figure's measured numbers under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+
+
+def print_table(title: str, rows: List[Dict]) -> None:
+    """Print a small aligned table of result rows."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = " | ".join(f"{k:>18}" for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row[key]
+            cells.append(f"{value:>18.4f}" if isinstance(value, float) else f"{str(value):>18}")
+        print(" | ".join(cells))
+
+
+# ---------------------------------------------------------------------- #
+# Foundation model
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def foundation_llm(scale):
+    """The default foundation model (Llama2-7B stand-in) with LoRA adapters."""
+    return build_llm("llama2-7b-sim", lora_rank=8, pretrained=True,
+                     pretrain_steps=scale.pretrain_steps, seed=0)
+
+
+# ---------------------------------------------------------------------- #
+# Viewport prediction artifacts
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def vp_bench_data(scale):
+    """VP datasets for the default and unseen settings."""
+    default = VP_SETTINGS["default_test"]
+    dataset = ViewportDataset("jin2022", seed=0, num_videos=scale.vp_videos,
+                              num_viewers=scale.vp_viewers, video_seconds=scale.vp_seconds)
+    train_traces, _, test_traces = dataset.split_traces(seed=0)
+    data = {
+        "default": {
+            "setting": default,
+            "train": dataset.windows_from_traces(train_traces, default, stride_steps=5),
+            "test": dataset.windows_from_traces(test_traces, default, stride_steps=10),
+        }
+    }
+    for name in ("unseen_setting1", "unseen_setting2", "unseen_setting3"):
+        setting = VP_SETTINGS[name]
+        if setting.dataset == "jin2022":
+            test_ds, test_set = dataset, test_traces
+        else:
+            test_ds = ViewportDataset(setting.dataset, seed=7, num_videos=max(2, scale.vp_videos // 2),
+                                      num_viewers=max(4, scale.vp_viewers // 2),
+                                      video_seconds=scale.vp_seconds)
+            _, _, test_set = test_ds.split_traces(seed=7)
+        data[name] = {
+            "setting": setting,
+            # Training data always comes from the default (jin2022) training
+            # traces, re-windowed to the unseen setting's history/prediction
+            # windows so that baselines needing a matching output size can be
+            # fit on in-distribution data (§A.4).
+            "train": dataset.windows_from_traces(train_traces, setting, stride_steps=5),
+            "test": test_ds.windows_from_traces(test_set, setting, stride_steps=10),
+        }
+    return data
+
+
+@pytest.fixture(scope="session")
+def vp_netllm(scale, vp_bench_data):
+    """NetLLM adapted for VP on the default training setting.
+
+    Each task adaptation builds its own copy of the foundation model so that
+    the per-task LoRA matrices stay separate (the paper trains different
+    copies of A/B per task on top of the same frozen backbone).
+    """
+    default = vp_bench_data["default"]
+    llm = build_llm("llama2-7b-sim", lora_rank=4, pretrained=True,
+                    pretrain_steps=scale.pretrain_steps, seed=0)
+    return adapt_vp(default["train"], default["setting"].prediction_steps, llm=llm,
+                    iterations=scale.vp_iterations, lr=3e-3, seed=0)
+
+
+# ---------------------------------------------------------------------- #
+# ABR artifacts
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def abr_bench(scale):
+    """ABR environments: video, train/test traces for default and unseen settings."""
+    video, train_traces = build_setting(ABR_SETTINGS["default_train"],
+                                        num_traces=scale.abr_traces, seed=0)
+    _, test_traces = build_setting(ABR_SETTINGS["default_test"],
+                                   num_traces=scale.abr_traces, seed=100)
+    unseen = {}
+    for index, name in enumerate(("unseen_setting1", "unseen_setting2", "unseen_setting3")):
+        unseen_video, unseen_traces = build_setting(ABR_SETTINGS[name],
+                                                    num_traces=scale.abr_traces,
+                                                    seed=200 + index)
+        unseen[name] = (unseen_video, unseen_traces)
+    return {"video": video, "train": train_traces, "test": test_traces, "unseen": unseen}
+
+
+@pytest.fixture(scope="session")
+def abr_policies(scale, abr_bench):
+    """The paper's ABR baselines, trained on the default training traces."""
+    video, train_traces = abr_bench["video"], abr_bench["train"]
+    env = ABREnvironment(video, train_traces, seed=0)
+    genet, _ = train_genet(env, seed=0)
+    return {"BBA": BBAPolicy(), "MPC": MPCPolicy(horizon=5), "GENET": genet}
+
+
+@pytest.fixture(scope="session")
+def abr_netllm(scale, abr_bench):
+    """NetLLM adapted for ABR via DD-LRNA on the default training setting."""
+    video, train_traces = abr_bench["video"], abr_bench["train"]
+    pool = rl_collect_abr(video, train_traces, seed=0)
+    llm = build_llm("llama2-7b-sim", lora_rank=8, pretrained=True,
+                    pretrain_steps=scale.pretrain_steps, seed=0)
+    return adapt_abr(video, train_traces, llm=llm, pool=pool,
+                     iterations=scale.abr_iterations, seed=0)
+
+
+# ---------------------------------------------------------------------- #
+# CJS artifacts
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def cjs_bench(scale):
+    """CJS workloads for default and unseen settings."""
+    train_workloads = [build_workload(CJS_SETTINGS["default_train"], seed=s)[0]
+                       for s in range(scale.cjs_workloads)]
+    executors = CJS_SETTINGS["default_test"].scaled_num_executors
+    test_workloads = [build_workload(CJS_SETTINGS["default_test"], seed=100 + s)[0]
+                      for s in range(2)]
+    unseen = {}
+    for index, name in enumerate(("unseen_setting1", "unseen_setting2", "unseen_setting3")):
+        setting = CJS_SETTINGS[name]
+        unseen[name] = {
+            "workloads": [build_workload(setting, seed=300 + 10 * index + s)[0] for s in range(2)],
+            "executors": setting.scaled_num_executors,
+        }
+    return {"train": train_workloads, "test": test_workloads, "executors": executors,
+            "unseen": unseen}
+
+
+@pytest.fixture(scope="session")
+def cjs_schedulers(scale, cjs_bench):
+    """The paper's CJS baselines (FIFO, Fair, Decima trained by imitation)."""
+    from repro.cjs import FIFOScheduler, FairScheduler
+
+    decima, _ = train_decima(cjs_bench["train"], cjs_bench["executors"], epochs=3, seed=0)
+    return {"FIFO": FIFOScheduler(), "Fair": FairScheduler(), "Decima": decima}
+
+
+@pytest.fixture(scope="session")
+def cjs_netllm(scale, cjs_bench):
+    """NetLLM adapted for CJS via DD-LRNA."""
+    pool = rl_collect_cjs(cjs_bench["train"], cjs_bench["executors"])
+    llm = build_llm("llama2-7b-sim", lora_rank=8, pretrained=True,
+                    pretrain_steps=scale.pretrain_steps, seed=0)
+    return adapt_cjs(cjs_bench["train"], cjs_bench["executors"], llm=llm, pool=pool,
+                     iterations=scale.cjs_iterations, context_window=10, seed=0)

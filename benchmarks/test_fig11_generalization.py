@@ -1,0 +1,97 @@
+"""Figure 11 — generalization to unseen settings (VP, ABR, CJS).
+
+Every method trained on the default setting is evaluated on three unseen
+settings per task (Tables 2/3/4).  Paper-expected shape: NetLLM keeps its
+lead on unseen settings, while the learned baselines sometimes drop below
+the rule-based ones (most visibly GENET on ABR unseen settings 1 and 2).
+"""
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import evaluate_abr_policies, evaluate_cjs_schedulers, evaluate_vp_methods
+
+
+def test_fig11a_vp_generalization(benchmark, vp_bench_data, vp_netllm):
+    def run():
+        results = {}
+        for name in ("unseen_setting1", "unseen_setting2", "unseen_setting3"):
+            entry = vp_bench_data[name]
+            if entry["setting"].prediction_steps == vp_netllm.adapter.prediction_steps:
+                netllm = vp_netllm.adapter
+            else:
+                netllm = None  # different output dimension needs its own head
+            results[name] = evaluate_vp_methods(entry["setting"], entry["train"],
+                                                entry["test"], netllm=netllm,
+                                                track_epochs=8, seed=0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for setting_name, methods in results.items():
+        row = {"setting": setting_name}
+        row.update({name: res["mae"] for name, res in methods.items()})
+        rows.append(row)
+    print_table("Figure 11 (VP): MAE on unseen settings (lower better)", rows)
+    print("Paper-expected shape: NetLLM achieves the lowest MAE on every unseen setting "
+          "(1.7-9.1% below the learned baseline). Settings whose prediction window differs "
+          "from training require a new VP head, hence NetLLM is reported only where the "
+          "trained head applies (unseen_setting2 here).")
+    save_results("fig11_vp", {"rows": rows})
+    by_setting = {row["setting"]: row for row in rows}
+    unseen2 = by_setting["unseen_setting2"]
+    assert unseen2["TRACK"] < unseen2["LR"]
+    if "NetLLM" in unseen2 and not np.isnan(unseen2.get("NetLLM", np.nan)):
+        assert unseen2["NetLLM"] < unseen2["LR"]
+
+
+def test_fig11b_abr_generalization(benchmark, abr_bench, abr_policies, abr_netllm):
+    policies = dict(abr_policies)
+    policies["NetLLM"] = abr_netllm.policy
+
+    def run():
+        results = {}
+        for name, (video, traces) in abr_bench["unseen"].items():
+            # NetLLM and GENET were trained on the default video's bitrate
+            # ladder; unseen settings with a different ladder (synth-video)
+            # still run because the ladder length is unchanged.
+            results[name] = evaluate_abr_policies(policies, video, traces, seed=0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for setting_name, methods in results.items():
+        row = {"setting": setting_name}
+        row.update({name: res["qoe"] for name, res in methods.items()})
+        rows.append(row)
+    print_table("Figure 11 (ABR): QoE on unseen settings (higher better)", rows)
+    print("Paper-expected shape: NetLLM has the highest QoE everywhere; GENET drops below "
+          "MPC on unseen settings 1 and 2 (learned baselines generalize poorly).")
+    save_results("fig11_abr", {"rows": rows})
+    for row in rows:
+        assert row["MPC"] > row["BBA"] - 0.5  # rule-based methods stay reasonable
+
+
+def test_fig11c_cjs_generalization(benchmark, cjs_bench, cjs_schedulers, cjs_netllm):
+    schedulers = dict(cjs_schedulers)
+    schedulers["NetLLM"] = cjs_netllm.scheduler
+
+    def run():
+        results = {}
+        for name, payload in cjs_bench["unseen"].items():
+            results[name] = evaluate_cjs_schedulers(schedulers, payload["workloads"],
+                                                    payload["executors"])
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for setting_name, methods in results.items():
+        row = {"setting": setting_name}
+        row.update({name: res["jct"] for name, res in methods.items()})
+        rows.append(row)
+    print_table("Figure 11 (CJS): average JCT on unseen settings (lower better)", rows)
+    print("Paper-expected shape: NetLLM achieves the lowest JCT on every unseen setting "
+          "(2.5-6.8% below Decima).")
+    save_results("fig11_cjs", {"rows": rows})
+    for row in rows:
+        assert row["Decima"] < row["FIFO"] * 1.05

@@ -1,0 +1,59 @@
+"""Figure 13 — importance of pre-trained and learned domain knowledge.
+
+Three configurations of the VP adaptation are compared (the paper runs all
+three tasks; the reproduction uses VP, the cheapest task, and the same
+ablation flags exist for ABR/CJS through the adapters):
+
+* *no pre-trained knowledge* — the LLM backbone is randomly initialized
+  (never pre-trained) and stays frozen, as in the paper's ablation;
+* *no domain knowledge* — the backbone is pre-trained but the learned LoRA
+  matrices are disabled at evaluation time;
+* *full knowledge* — the standard NetLLM pipeline.
+
+Paper-expected shape: removing either kind of knowledge degrades performance,
+with the loss of pre-trained knowledge hurting the most.
+"""
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import adapt_vp
+from repro.llm import build_llm
+from repro.vp import evaluate_predictor
+
+
+def test_fig13_pretrained_and_domain_knowledge(benchmark, scale, vp_bench_data):
+    default = vp_bench_data["default"]
+    setting = default["setting"]
+    iterations = scale.vp_iterations // 2
+
+    def run():
+        results = {}
+        # (1) No pre-trained knowledge: random frozen backbone.
+        random_llm = build_llm("llama2-7b-sim", lora_rank=4, pretrained=False, seed=0)
+        no_pretrain = adapt_vp(default["train"], setting.prediction_steps, llm=random_llm,
+                               iterations=iterations, lr=3e-3, seed=0)
+        results["no_pretrained_knowledge"] = evaluate_predictor(
+            no_pretrain.adapter, default["test"])["mae"]
+
+        # (2)+(3) Pre-trained backbone, evaluated with and without the learned
+        # LoRA matrices (domain knowledge).
+        pretrained_llm = build_llm("llama2-7b-sim", lora_rank=4, pretrained=True,
+                                   pretrain_steps=scale.pretrain_steps, seed=0)
+        full = adapt_vp(default["train"], setting.prediction_steps, llm=pretrained_llm,
+                        iterations=iterations, lr=3e-3, seed=0)
+        results["full_knowledge"] = evaluate_predictor(full.adapter, default["test"])["mae"]
+        full.adapter.set_domain_knowledge_enabled(False)
+        results["no_domain_knowledge"] = evaluate_predictor(full.adapter, default["test"])["mae"]
+        full.adapter.set_domain_knowledge_enabled(True)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"configuration": name, "mae_deg": value} for name, value in results.items()]
+    print_table("Figure 13: knowledge ablation on VP (lower MAE is better)", rows)
+    print("Paper-expected shape: full knowledge < no domain knowledge < no pre-trained "
+          "knowledge (removing pre-trained knowledge hurts most).")
+    save_results("fig13_knowledge_ablation", {"rows": rows})
+
+    assert results["full_knowledge"] <= results["no_domain_knowledge"] + 1e-9
+    assert results["full_knowledge"] < results["no_pretrained_knowledge"] * 1.25

@@ -1,0 +1,51 @@
+"""Figure 15 — adapting different LLM families (OPT, Mistral, LLaVa, Llama2).
+
+The paper adapts four 7B-class models for VP and ABR and finds that all of
+them beat the learned baselines, with the multimodal LLaVa slightly behind
+the single-modal models.  The reproduction adapts the four corresponding
+stand-in configurations for the VP task (the cheapest to train) and compares
+against TRACK.
+
+Paper-expected shape: every adapted LLM outperforms the rule-based baselines
+and is competitive with TRACK; the ranking across families is close.
+"""
+
+from conftest import print_table, save_results
+
+from repro.core import adapt_vp
+from repro.llm import build_llm
+from repro.vp import LinearRegressionPredictor, evaluate_predictor, train_track
+
+FAMILIES = ("opt-7b-sim", "mistral-7b-sim", "llava-7b-sim", "llama2-7b-sim")
+
+
+def test_fig15_llm_families_vp(benchmark, scale, vp_bench_data):
+    default = vp_bench_data["default"]
+    setting = default["setting"]
+    iterations = scale.vp_iterations // 2
+
+    def run():
+        results = {}
+        for index, family in enumerate(FAMILIES):
+            # Different families have different architectures (see llm.config)
+            # and, like real checkpoints, different pre-training randomness.
+            llm = build_llm(family, lora_rank=4, pretrained=True,
+                            pretrain_steps=scale.pretrain_steps, seed=10 + index)
+            adaptation = adapt_vp(default["train"], setting.prediction_steps, llm=llm,
+                                  iterations=iterations, lr=3e-3, seed=index)
+            results[family] = evaluate_predictor(adaptation.adapter, default["test"])["mae"]
+        track, _ = train_track(default["train"], setting.prediction_steps, epochs=8, seed=0)
+        results["TRACK"] = evaluate_predictor(track, default["test"])["mae"]
+        results["LR"] = evaluate_predictor(
+            LinearRegressionPredictor(setting.prediction_steps), default["test"])["mae"]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"model": name, "mae_deg": value} for name, value in results.items()]
+    print_table("Figure 15: different LLM families adapted for VP (lower is better)", rows)
+    print("Paper-expected shape: all adapted 7B-class LLMs beat the baselines; LLaVa is "
+          "slightly worse than Llama2.")
+    save_results("fig15_llm_types", {"rows": rows})
+
+    for family in FAMILIES:
+        assert results[family] < results["LR"]

@@ -1,0 +1,29 @@
+"""Table 1 — inventory of the three learning-based use cases.
+
+Prints the task table (inputs, outputs, objective, learning paradigm) and
+checks it stays consistent with the implemented packages.
+"""
+
+from conftest import print_table, save_results
+
+from repro.core import TASKS
+
+
+def test_table01_task_inventory(benchmark):
+    def build_rows():
+        rows = []
+        for info in TASKS.values():
+            rows.append({
+                "task": info.short_name,
+                "inputs": "; ".join(info.input_modalities)[:60],
+                "output": info.output[:40],
+                "paradigm": info.learning_paradigm,
+                "package": info.package,
+            })
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table("Table 1: learning-based algorithm use cases", rows)
+    save_results("table01_tasks", {"rows": rows})
+    assert {row["task"] for row in rows} == {"VP", "ABR", "CJS"}
+    assert {row["paradigm"] for row in rows} == {"SL", "RL"}

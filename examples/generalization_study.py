@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Generalization study: how methods trained on the default ABR setting behave
+on unseen environments (the Figure 11/12 story at example scale).
+
+The script trains GENET and adapts NetLLM on the default setting (Envivio
+video over FCC-like traces), then evaluates every method on the three unseen
+settings of Table 3 plus the real-world-style broadband/cellular emulation,
+printing QoE and the per-factor breakdown.
+
+Run:  python examples/generalization_study.py
+"""
+
+from __future__ import annotations
+
+from repro.abr import (
+    ABR_SETTINGS,
+    ABREnvironment,
+    BBAPolicy,
+    EmulationConfig,
+    MPCPolicy,
+    build_setting,
+    run_realworld_test,
+    train_genet,
+)
+from repro.core import adapt_abr, evaluate_abr_policies, rl_collect_abr
+from repro.llm import build_llm
+
+
+def main() -> None:
+    video, train_traces = build_setting(ABR_SETTINGS["default_train"], num_traces=6, seed=0)
+
+    print("Training methods on the default setting (envivio-dash3 over FCC-like traces)...")
+    env = ABREnvironment(video, train_traces, seed=0)
+    genet, _ = train_genet(env, seed=0)
+    pool = rl_collect_abr(video, train_traces, seed=0)
+    llm = build_llm("llama2-7b-sim", lora_rank=8, pretrained=True, pretrain_steps=40, seed=0)
+    netllm = adapt_abr(video, train_traces, llm=llm, pool=pool, iterations=250, seed=0)
+
+    policies = {
+        "BBA": BBAPolicy(),
+        "MPC": MPCPolicy(horizon=5),
+        "GENET": genet,
+        "NetLLM": netllm.policy,
+    }
+
+    print("\n--- Unseen simulation settings (Table 3) ---")
+    for index, name in enumerate(("unseen_setting1", "unseen_setting2", "unseen_setting3")):
+        unseen_video, unseen_traces = build_setting(ABR_SETTINGS[name], num_traces=6,
+                                                    seed=200 + index)
+        results = evaluate_abr_policies(policies, unseen_video, unseen_traces, seed=0)
+        print(f"\n{name}: video={ABR_SETTINGS[name].video}, traces={ABR_SETTINGS[name].trace_family}")
+        for method, result in sorted(results.items(), key=lambda kv: -kv[1]["qoe"]):
+            print(f"  {method:8s} QoE={result['qoe']:7.3f}  bitrate={result['bitrate']:6.2f}  "
+                  f"rebuffer={result['rebuffering']:6.3f}  variation={result['bitrate_variation']:6.3f}")
+
+    print("\n--- Real-world-style client/server emulation (§A.5) ---")
+    config = EmulationConfig(num_traces=5)
+    for network in ("broadband", "cellular"):
+        results = run_realworld_test(policies, network, video=video, config=config)
+        ranked = sorted(results.items(), key=lambda kv: -kv[1]["qoe"])
+        summary = ", ".join(f"{name}={stats['qoe']:.3f}" for name, stats in ranked)
+        print(f"  {network:10s} {summary}")
+
+
+if __name__ == "__main__":
+    main()

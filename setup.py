@@ -1,0 +1,5 @@
+"""Thin setup shim so `python setup.py develop` works in offline environments
+where the `wheel` package (needed for PEP 660 editable installs) is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Reproduction of *NetLLM: Adapting Large Language Models for Networking*.
+
+Subpackages
+-----------
+``repro.nn``     numpy autodiff / neural-network substrate
+``repro.llm``    decoder-only transformer "LLM" substitute and tokenizer
+``repro.core``   the NetLLM framework: multimodal encoder, networking heads,
+                 DD-LRNA adaptation, prompt-learning baseline, APIs
+``repro.vp``     viewport-prediction task: datasets, baselines, metrics
+``repro.abr``    adaptive-bitrate streaming: traces, simulator, baselines
+``repro.cjs``    cluster job scheduling: DAG jobs, simulator, baselines
+``repro.utils``  shared utilities
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "llm", "core", "vp", "abr", "cjs", "utils", "__version__"]

@@ -1,0 +1,49 @@
+"""``repro.abr`` — adaptive bitrate streaming substrate.
+
+Video manifests, bandwidth traces, the chunk-level streaming simulator, the
+QoE metric, the gym-like RL environment, the BBA/MPC/GENET baselines and the
+real-world-style emulation layer.
+"""
+
+from .video import (
+    CHUNK_SECONDS,
+    ENVIVIO_BITRATES_KBPS,
+    SYNTH_BITRATES_KBPS,
+    VideoManifest,
+    envivio_dash3,
+    get_video,
+    synth_video,
+)
+from .traces import (
+    BandwidthTrace,
+    cellular_like_traces,
+    fcc_like_traces,
+    get_traces,
+    synth_traces,
+)
+from .qoe import (
+    REBUFFER_PENALTY,
+    SMOOTHNESS_PENALTY,
+    ChunkRecord,
+    SessionResult,
+    chunk_reward,
+    session_qoe,
+)
+from .simulator import SimulatorConfig, StreamingSession, simulate_session
+from .env import ABREnvironment, ABRObservation, HISTORY_LENGTH, normalize_observation, observe, rollout
+from .settings import ABR_SETTINGS, ABRSetting, REALWORLD_NETWORKS, build_setting
+from .baselines import BBAPolicy, GenetPolicy, MPCPolicy, OracleMPCPolicy, train_genet
+from .emulation import EmulationConfig, realworld_traces, run_realworld_test, sessions_over_traces
+
+__all__ = [
+    "CHUNK_SECONDS", "ENVIVIO_BITRATES_KBPS", "SYNTH_BITRATES_KBPS", "VideoManifest",
+    "envivio_dash3", "get_video", "synth_video",
+    "BandwidthTrace", "cellular_like_traces", "fcc_like_traces", "get_traces", "synth_traces",
+    "REBUFFER_PENALTY", "SMOOTHNESS_PENALTY", "ChunkRecord", "SessionResult",
+    "chunk_reward", "session_qoe",
+    "SimulatorConfig", "StreamingSession", "simulate_session",
+    "ABREnvironment", "ABRObservation", "HISTORY_LENGTH", "normalize_observation", "observe", "rollout",
+    "ABR_SETTINGS", "ABRSetting", "REALWORLD_NETWORKS", "build_setting",
+    "BBAPolicy", "GenetPolicy", "MPCPolicy", "OracleMPCPolicy", "train_genet",
+    "EmulationConfig", "realworld_traces", "run_realworld_test", "sessions_over_traces",
+]

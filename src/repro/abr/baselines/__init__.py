@@ -1,0 +1,7 @@
+"""ABR baseline policies: BBA, MPC, GENET and helpers."""
+
+from .bba import BBAPolicy
+from .mpc import MPCPolicy, OracleMPCPolicy
+from .genet import GenetPolicy, train_genet
+
+__all__ = ["BBAPolicy", "MPCPolicy", "OracleMPCPolicy", "GenetPolicy", "train_genet"]

@@ -1,0 +1,49 @@
+"""Buffer-Based Adaptation (BBA) — rule-based ABR baseline.
+
+BBA (Huang et al., SIGCOMM 2014) maps the current playback-buffer occupancy
+linearly onto the bitrate ladder between a low reservoir and an upper
+cushion: below the reservoir it always picks the lowest bitrate, above the
+cushion the highest, and in between it interpolates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator import StreamingSession
+
+
+class BBAPolicy:
+    """Buffer-based bitrate selection."""
+
+    name = "BBA"
+
+    def __init__(self, reservoir_seconds: float = 5.0, cushion_seconds: float = 40.0) -> None:
+        if cushion_seconds <= reservoir_seconds:
+            raise ValueError("cushion must exceed reservoir")
+        self.reservoir = reservoir_seconds
+        self.cushion = cushion_seconds
+
+    def reset(self) -> None:
+        """BBA is stateless between sessions."""
+
+    def select_bitrate(self, session: StreamingSession) -> int:
+        buffer_seconds = session.buffer_seconds
+        num_bitrates = session.video.num_bitrates
+        if buffer_seconds <= self.reservoir:
+            return 0
+        if buffer_seconds >= self.cushion:
+            return num_bitrates - 1
+        fraction = (buffer_seconds - self.reservoir) / (self.cushion - self.reservoir)
+        return int(round(fraction * (num_bitrates - 1)))
+
+    # -- observation-based interface (for experience collection) -------- #
+    def act(self, observation) -> int:
+        buffer_seconds = observation.buffer_seconds
+        num_bitrates = observation.next_chunk_sizes_mb.shape[0]
+        if buffer_seconds <= self.reservoir:
+            return 0
+        if buffer_seconds >= self.cushion:
+            return num_bitrates - 1
+        fraction = (buffer_seconds - self.reservoir) / (self.cushion - self.reservoir)
+        return int(round(fraction * (num_bitrates - 1)))

@@ -1,0 +1,108 @@
+"""Model Predictive Control ABR (MPC) and its omniscient oracle variant.
+
+MPC (Yin et al., SIGCOMM 2015) predicts near-future throughput from the
+harmonic mean of recent measurements (the "RobustMPC" estimator) and then
+exhaustively searches bitrate sequences over a short look-ahead horizon,
+simulating the buffer evolution and picking the first bitrate of the sequence
+that maximizes the QoE objective.
+
+:class:`OracleMPCPolicy` replaces the throughput predictor with the true
+future bandwidth from the trace.  It is *not* one of the paper's baselines;
+it is used by the DD-LRNA experience collector as one of the "existing
+algorithms" whose behaviour the LLM learns from (high-return trajectories),
+playing the role that well-trained teacher policies play in the paper's
+offline dataset.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+import numpy as np
+
+from ..qoe import REBUFFER_PENALTY, SMOOTHNESS_PENALTY
+from ..simulator import BYTES_PER_MBIT, StreamingSession
+
+
+class MPCPolicy:
+    """RobustMPC: harmonic-mean throughput prediction + exhaustive look-ahead."""
+
+    name = "MPC"
+
+    def __init__(self, horizon: int = 5, history: int = 5,
+                 rebuffer_penalty: float = REBUFFER_PENALTY,
+                 smoothness_penalty: float = SMOOTHNESS_PENALTY) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        self.history = history
+        self.rebuffer_penalty = rebuffer_penalty
+        self.smoothness_penalty = smoothness_penalty
+
+    def reset(self) -> None:
+        """MPC keeps no cross-session state."""
+
+    # ------------------------------------------------------------------ #
+    def _predict_throughput(self, session: StreamingSession) -> float:
+        records = session.result.records[-self.history:]
+        if not records:
+            return 1.0
+        throughputs = np.asarray([r.throughput_mbps for r in records])
+        harmonic = len(throughputs) / np.sum(1.0 / np.maximum(throughputs, 1e-6))
+        # RobustMPC discounts the estimate by the recent maximum error.
+        return float(harmonic) * 0.9
+
+    def _future_throughput(self, session: StreamingSession, step: int) -> float:
+        """Predicted throughput for the ``step``-th future chunk (constant here)."""
+        return self._predict_throughput(session)
+
+    # ------------------------------------------------------------------ #
+    def select_bitrate(self, session: StreamingSession) -> int:
+        """Exhaustive look-ahead search, vectorized across candidate plans."""
+        video = session.video
+        start_chunk = session.next_chunk
+        horizon = min(self.horizon, video.num_chunks - start_chunk)
+        last_bitrate = (video.bitrates_mbps[session.previous_bitrate_index]
+                        if session.previous_bitrate_index is not None else 0.0)
+
+        plans = np.asarray(list(product(range(video.num_bitrates), repeat=horizon)),
+                           dtype=np.int64)
+        num_plans = plans.shape[0]
+        buffers = np.full(num_plans, session.buffer_seconds, dtype=np.float64)
+        previous = np.full(num_plans, last_bitrate, dtype=np.float64)
+        scores = np.zeros(num_plans, dtype=np.float64)
+        bitrates_mbps = video.bitrates_mbps
+
+        for step in range(horizon):
+            chunk_index = start_chunk + step
+            choice = plans[:, step]
+            sizes_mb = video.chunk_sizes_bytes[chunk_index, choice] / BYTES_PER_MBIT
+            throughput = max(self._future_throughput(session, step), 1e-6)
+            downloads = sizes_mb / throughput + session.config.rtt_seconds
+            rebuffers = np.maximum(0.0, downloads - buffers)
+            buffers = np.maximum(0.0, buffers - downloads) + video.chunk_seconds
+            bitrates = bitrates_mbps[choice]
+            scores += (bitrates - self.rebuffer_penalty * rebuffers
+                       - self.smoothness_penalty * np.abs(bitrates - previous))
+            previous = bitrates
+        return int(plans[int(np.argmax(scores)), 0])
+
+
+class OracleMPCPolicy(MPCPolicy):
+    """MPC with perfect knowledge of future bandwidth (experience-collection teacher)."""
+
+    name = "OracleMPC"
+
+    def __init__(self, horizon: int = 5, **kwargs) -> None:
+        super().__init__(horizon=horizon, **kwargs)
+        self._session: Optional[StreamingSession] = None
+
+    def select_bitrate(self, session: StreamingSession) -> int:
+        self._session = session
+        return super().select_bitrate(session)
+
+    def _future_throughput(self, session: StreamingSession, step: int) -> float:
+        # Sample the true trace bandwidth around the time the chunk would start.
+        lookahead = session.clock + step * session.video.chunk_seconds
+        return session.trace.bandwidth_at(lookahead)

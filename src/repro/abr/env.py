@@ -1,0 +1,174 @@
+"""Observation extraction and episode interface for learning-based ABR.
+
+The RL formulation follows Pensieve/GENET: for every chunk decision the agent
+observes the recent throughput / delay history, the playback buffer, the last
+selected bitrate, the fraction of chunks remaining, and the sizes of the next
+chunk at every bitrate; it outputs a bitrate index and receives the per-chunk
+QoE term as reward.
+
+:class:`ABREnvironment` wraps :class:`~repro.abr.simulator.StreamingSession`
+with a gym-like ``reset()``/``step()`` API used both by the GENET baseline and
+by the DD-LRNA experience collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .qoe import chunk_reward
+from .simulator import SimulatorConfig, StreamingSession
+from .traces import BandwidthTrace
+from .video import VideoManifest
+
+#: Number of past chunks summarized in the observation.
+HISTORY_LENGTH = 8
+
+
+@dataclass
+class ABRObservation:
+    """Structured (multimodal) observation of one ABR decision point.
+
+    The pieces map onto the modalities of Table 1: time-series throughput and
+    delay history, a sequence of next-chunk sizes, and scalars for buffer,
+    last bitrate and remaining chunks.
+    """
+
+    throughput_history_mbps: np.ndarray  # (HISTORY_LENGTH,)
+    delay_history_seconds: np.ndarray    # (HISTORY_LENGTH,)
+    next_chunk_sizes_mb: np.ndarray      # (num_bitrates,)
+    buffer_seconds: float
+    last_bitrate_mbps: float
+    remaining_fraction: float
+
+    def flatten(self) -> np.ndarray:
+        """Flat vector used by MLP policies (GENET) and the experience pool."""
+        return np.concatenate([
+            self.throughput_history_mbps,
+            self.delay_history_seconds,
+            self.next_chunk_sizes_mb,
+            [self.buffer_seconds, self.last_bitrate_mbps, self.remaining_fraction],
+        ]).astype(np.float64)
+
+    @staticmethod
+    def flat_size(num_bitrates: int) -> int:
+        return 2 * HISTORY_LENGTH + num_bitrates + 3
+
+
+def normalize_observation(flat: np.ndarray) -> np.ndarray:
+    """Scale a flattened :class:`ABRObservation` to roughly unit magnitude.
+
+    Layout (see :meth:`ABRObservation.flatten`): throughput history, delay
+    history, next chunk sizes, then the three scalars.  Neural policies
+    (GENET, the NetLLM encoder's scalar inputs) train far more reliably on
+    normalized features.
+    """
+    flat = np.asarray(flat, dtype=np.float64).copy()
+    flat[:HISTORY_LENGTH] /= 5.0                       # throughput (Mbps)
+    flat[HISTORY_LENGTH:2 * HISTORY_LENGTH] /= 10.0    # delays (s)
+    flat[2 * HISTORY_LENGTH:-3] /= 2.0                 # chunk sizes (MB)
+    flat[-3] /= 20.0                                   # buffer (s)
+    flat[-2] /= 5.0                                    # last bitrate (Mbps)
+    return flat
+
+
+def observe(session: StreamingSession) -> ABRObservation:
+    """Build the observation for the next chunk decision of ``session``."""
+    records = session.result.records
+    throughput = np.zeros(HISTORY_LENGTH)
+    delays = np.zeros(HISTORY_LENGTH)
+    recent = records[-HISTORY_LENGTH:]
+    for offset, record in enumerate(reversed(recent)):
+        throughput[HISTORY_LENGTH - 1 - offset] = record.throughput_mbps
+        delays[HISTORY_LENGTH - 1 - offset] = record.download_seconds
+    if session.finished:
+        next_sizes = np.zeros(session.video.num_bitrates)
+    else:
+        next_sizes = session.video.chunk_sizes_bytes[session.next_chunk] / 1e6
+    last_bitrate = (session.video.bitrates_mbps[session.previous_bitrate_index]
+                    if session.previous_bitrate_index is not None else 0.0)
+    return ABRObservation(
+        throughput_history_mbps=throughput,
+        delay_history_seconds=delays,
+        next_chunk_sizes_mb=np.asarray(next_sizes, dtype=np.float64),
+        buffer_seconds=session.buffer_seconds,
+        last_bitrate_mbps=float(last_bitrate),
+        remaining_fraction=session.remaining_chunks / session.video.num_chunks,
+    )
+
+
+class ABREnvironment:
+    """Gym-like episodic environment over a set of bandwidth traces."""
+
+    def __init__(self, video: VideoManifest, traces: Sequence[BandwidthTrace],
+                 config: Optional[SimulatorConfig] = None, seed: int = 0) -> None:
+        if not traces:
+            raise ValueError("at least one trace is required")
+        self.video = video
+        self.traces = list(traces)
+        self.config = config or SimulatorConfig()
+        self._rng = np.random.default_rng(seed)
+        self._session: Optional[StreamingSession] = None
+        self._trace_index = 0
+
+    @property
+    def num_actions(self) -> int:
+        return self.video.num_bitrates
+
+    @property
+    def observation_size(self) -> int:
+        return ABRObservation.flat_size(self.video.num_bitrates)
+
+    @property
+    def session(self) -> StreamingSession:
+        if self._session is None:
+            raise RuntimeError("call reset() before accessing the session")
+        return self._session
+
+    def reset(self, trace_index: Optional[int] = None) -> ABRObservation:
+        """Start a new episode; returns the first observation."""
+        if trace_index is None:
+            trace_index = int(self._rng.integers(0, len(self.traces)))
+        self._trace_index = trace_index % len(self.traces)
+        self._session = StreamingSession(self.video, self.traces[self._trace_index],
+                                         config=self.config,
+                                         seed=int(self._rng.integers(0, 2**31 - 1)))
+        return observe(self._session)
+
+    def step(self, bitrate_index: int) -> Tuple[ABRObservation, float, bool, Dict]:
+        """Download one chunk; returns (observation, reward, done, info)."""
+        session = self.session
+        previous_bitrate = (session.video.bitrates_mbps[session.previous_bitrate_index]
+                            if session.previous_bitrate_index is not None else
+                            session.video.bitrates_mbps[bitrate_index])
+        record = session.download_chunk(bitrate_index)
+        reward = chunk_reward(record.bitrate_mbps, record.rebuffer_seconds, previous_bitrate)
+        done = session.finished
+        info = {"record": record, "trace_index": self._trace_index}
+        return observe(session), reward, done, info
+
+
+def rollout(env: ABREnvironment, policy, trace_index: Optional[int] = None) -> Dict:
+    """Run one episode with ``policy`` (``act(observation) -> bitrate index``)."""
+    observation = env.reset(trace_index=trace_index)
+    total_reward = 0.0
+    steps: List[Dict] = []
+    done = False
+    while not done:
+        action = int(policy.act(observation))
+        next_observation, reward, done, info = env.step(action)
+        steps.append({
+            "observation": observation.flatten(),
+            "action": action,
+            "reward": reward,
+        })
+        total_reward += reward
+        observation = next_observation
+    return {
+        "steps": steps,
+        "total_reward": total_reward,
+        "session": env.session.result,
+        "trace_index": env._trace_index,
+    }

@@ -1,0 +1,115 @@
+"""Quality-of-Experience metric for ABR (§A.6).
+
+QoE is the per-chunk average of ``bitrate - lambda * rebuffer - gamma *
+|bitrate change|`` with the Pensieve weights ``lambda = 4.3`` and
+``gamma = 1`` (bitrate in Mbps, rebuffering in seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Rebuffering penalty weight (seconds -> QoE units), as in Pensieve/GENET.
+REBUFFER_PENALTY = 4.3
+#: Bitrate-change (smoothness) penalty weight.
+SMOOTHNESS_PENALTY = 1.0
+
+
+@dataclass
+class ChunkRecord:
+    """Outcome of downloading one chunk during a streaming session."""
+
+    chunk_index: int
+    bitrate_index: int
+    bitrate_mbps: float
+    chunk_size_bytes: float
+    download_seconds: float
+    rebuffer_seconds: float
+    buffer_seconds: float
+    throughput_mbps: float
+
+
+@dataclass
+class SessionResult:
+    """Full log of one streaming session plus aggregate QoE factors."""
+
+    records: List[ChunkRecord] = field(default_factory=list)
+
+    def append(self, record: ChunkRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.records)
+
+    @property
+    def bitrates_mbps(self) -> np.ndarray:
+        return np.asarray([r.bitrate_mbps for r in self.records], dtype=np.float64)
+
+    @property
+    def rebuffer_seconds(self) -> np.ndarray:
+        return np.asarray([r.rebuffer_seconds for r in self.records], dtype=np.float64)
+
+    @property
+    def total_rebuffer_seconds(self) -> float:
+        return float(self.rebuffer_seconds.sum())
+
+    @property
+    def mean_bitrate_mbps(self) -> float:
+        return float(self.bitrates_mbps.mean()) if self.records else 0.0
+
+    @property
+    def bitrate_changes_mbps(self) -> np.ndarray:
+        bitrates = self.bitrates_mbps
+        if bitrates.size < 2:
+            return np.zeros(0)
+        return np.abs(np.diff(bitrates))
+
+    @property
+    def mean_bitrate_change_mbps(self) -> float:
+        changes = self.bitrate_changes_mbps
+        return float(changes.mean()) if changes.size else 0.0
+
+    def qoe(self, rebuffer_penalty: float = REBUFFER_PENALTY,
+            smoothness_penalty: float = SMOOTHNESS_PENALTY) -> float:
+        """Average per-chunk QoE of the session."""
+        return session_qoe(self, rebuffer_penalty, smoothness_penalty)
+
+    def per_chunk_qoe(self, rebuffer_penalty: float = REBUFFER_PENALTY,
+                      smoothness_penalty: float = SMOOTHNESS_PENALTY) -> np.ndarray:
+        """Per-chunk QoE terms (used as RL rewards)."""
+        bitrates = self.bitrates_mbps
+        rebuffers = self.rebuffer_seconds
+        changes = np.concatenate([[0.0], self.bitrate_changes_mbps]) if bitrates.size else np.zeros(0)
+        return bitrates - rebuffer_penalty * rebuffers - smoothness_penalty * changes
+
+    def breakdown(self) -> Dict[str, float]:
+        """QoE factor breakdown used by Figure 12."""
+        return {
+            "qoe": self.qoe(),
+            "bitrate": self.mean_bitrate_mbps,
+            "rebuffering": float(self.rebuffer_seconds.mean()) if self.records else 0.0,
+            "bitrate_variation": self.mean_bitrate_change_mbps,
+        }
+
+
+def session_qoe(session: SessionResult, rebuffer_penalty: float = REBUFFER_PENALTY,
+                smoothness_penalty: float = SMOOTHNESS_PENALTY) -> float:
+    """QoE of a session as defined in §A.6 (per-chunk average)."""
+    if not session.records:
+        return 0.0
+    total = (session.bitrates_mbps.sum()
+             - rebuffer_penalty * session.rebuffer_seconds.sum()
+             - smoothness_penalty * session.bitrate_changes_mbps.sum())
+    return float(total / session.num_chunks)
+
+
+def chunk_reward(bitrate_mbps: float, rebuffer_seconds: float, previous_bitrate_mbps: float,
+                 rebuffer_penalty: float = REBUFFER_PENALTY,
+                 smoothness_penalty: float = SMOOTHNESS_PENALTY) -> float:
+    """Per-chunk RL reward consistent with the session QoE definition."""
+    change = abs(bitrate_mbps - previous_bitrate_mbps)
+    return bitrate_mbps - rebuffer_penalty * rebuffer_seconds - smoothness_penalty * change

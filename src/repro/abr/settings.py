@@ -1,0 +1,52 @@
+"""ABR simulation settings (Table 3 of the paper).
+
+Each setting names a video manifest and a bandwidth-trace family.  The default
+setting trains and tests on Envivio-Dash3 over FCC-like broadband traces; the
+unseen settings swap in the synthetic video and/or the more dynamic synthetic
+traces to probe generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .traces import BandwidthTrace, get_traces
+from .video import VideoManifest, get_video
+
+
+@dataclass(frozen=True)
+class ABRSetting:
+    """One row of Table 3."""
+
+    name: str
+    video: str
+    trace_family: str
+
+
+#: Table 3 of the paper.
+ABR_SETTINGS: Dict[str, ABRSetting] = {
+    "default_train": ABRSetting("default_train", "envivio-dash3", "fcc"),
+    "default_test": ABRSetting("default_test", "envivio-dash3", "fcc"),
+    "unseen_setting1": ABRSetting("unseen_setting1", "envivio-dash3", "synthtrace"),
+    "unseen_setting2": ABRSetting("unseen_setting2", "synth-video", "fcc"),
+    "unseen_setting3": ABRSetting("unseen_setting3", "synth-video", "synthtrace"),
+}
+
+#: §A.5 real-world networks.
+REALWORLD_NETWORKS = ("broadband", "cellular")
+
+
+def build_setting(setting: ABRSetting, num_traces: int = 12, num_chunks: int = 48,
+                  trace_duration: float = 320.0, seed: int = 0
+                  ) -> tuple[VideoManifest, List[BandwidthTrace]]:
+    """Materialize (video, traces) for a setting.
+
+    Different ``seed`` values give disjoint trace samples, which is how the
+    default *test* environment differs from the default *train* environment
+    while following the same distribution (as in the paper's §A.4).
+    """
+    video = get_video(setting.video, num_chunks=num_chunks)
+    traces = get_traces(setting.trace_family, count=num_traces, duration=trace_duration,
+                        seed=seed)
+    return video, traces

@@ -1,0 +1,148 @@
+"""Chunk-level ABR streaming simulator (Pensieve/GENET style).
+
+The simulator plays one video over one bandwidth trace.  For each chunk the
+policy chooses a bitrate index; the simulator then
+
+1. downloads the chunk by integrating the piecewise-constant trace bandwidth
+   (plus a fixed round-trip time per request),
+2. drains the playback buffer during the download and accounts any deficit as
+   rebuffering,
+3. adds the chunk's playback duration to the buffer (capped at
+   ``max_buffer_seconds``, in which case the client idles before the next
+   request, as real DASH players do).
+
+This is the same model used by the paper's ABR codebase and by Pensieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .qoe import ChunkRecord, SessionResult
+from .traces import BandwidthTrace
+from .video import VideoManifest
+
+#: Bytes per megabit.
+BYTES_PER_MBIT = 1e6 / 8.0
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunable constants of the streaming client model."""
+
+    rtt_seconds: float = 0.08
+    max_buffer_seconds: float = 60.0
+    initial_buffer_seconds: float = 0.0
+    #: multiplicative noise applied to effective throughput per chunk (0 = none)
+    throughput_noise: float = 0.0
+
+
+class StreamingSession:
+    """Stateful streaming session that downloads chunks one at a time."""
+
+    def __init__(self, video: VideoManifest, trace: BandwidthTrace,
+                 config: Optional[SimulatorConfig] = None,
+                 start_time: float = 0.0, seed: int = 0) -> None:
+        self.video = video
+        self.trace = trace
+        self.config = config or SimulatorConfig()
+        self._rng = np.random.default_rng(seed)
+        self.clock = float(start_time)
+        self.buffer_seconds = self.config.initial_buffer_seconds
+        self.next_chunk = 0
+        self.previous_bitrate_index: Optional[int] = None
+        self.result = SessionResult()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return self.next_chunk >= self.video.num_chunks
+
+    @property
+    def remaining_chunks(self) -> int:
+        return self.video.num_chunks - self.next_chunk
+
+    # ------------------------------------------------------------------ #
+    def _download_bytes(self, size_bytes: float) -> float:
+        """Advance the clock while downloading ``size_bytes``; return seconds taken."""
+        remaining = size_bytes
+        elapsed = self.config.rtt_seconds
+        t = self.clock + elapsed
+        # Integrate over the piecewise-constant trace in small slices so that
+        # bandwidth changes mid-download are honoured.
+        slice_seconds = 0.5
+        while remaining > 0:
+            bandwidth = self.trace.bandwidth_at(t)
+            if self.config.throughput_noise > 0:
+                bandwidth *= max(0.05, 1.0 + self._rng.normal(0, self.config.throughput_noise))
+            bytes_this_slice = bandwidth * BYTES_PER_MBIT * slice_seconds
+            if bytes_this_slice >= remaining:
+                fraction = remaining / bytes_this_slice
+                elapsed += slice_seconds * fraction
+                t += slice_seconds * fraction
+                remaining = 0.0
+            else:
+                remaining -= bytes_this_slice
+                elapsed += slice_seconds
+                t += slice_seconds
+        return elapsed
+
+    def download_chunk(self, bitrate_index: int) -> ChunkRecord:
+        """Download the next chunk at ``bitrate_index`` and update client state."""
+        if self.finished:
+            raise RuntimeError("session already finished")
+        if not 0 <= bitrate_index < self.video.num_bitrates:
+            raise ValueError(
+                f"bitrate index {bitrate_index} outside ladder of {self.video.num_bitrates}")
+        chunk_index = self.next_chunk
+        size_bytes = self.video.chunk_size(chunk_index, bitrate_index)
+        download_seconds = self._download_bytes(size_bytes)
+
+        # Buffer dynamics: drain during download, rebuffer on deficit.
+        rebuffer = max(0.0, download_seconds - self.buffer_seconds)
+        self.buffer_seconds = max(0.0, self.buffer_seconds - download_seconds)
+        self.buffer_seconds += self.video.chunk_seconds
+
+        # If the buffer exceeds the cap the client waits before the next request.
+        idle = 0.0
+        if self.buffer_seconds > self.config.max_buffer_seconds:
+            idle = self.buffer_seconds - self.config.max_buffer_seconds
+            self.buffer_seconds = self.config.max_buffer_seconds
+
+        self.clock += download_seconds + idle
+        throughput_mbps = (size_bytes / BYTES_PER_MBIT) / max(download_seconds, 1e-9)
+
+        record = ChunkRecord(
+            chunk_index=chunk_index,
+            bitrate_index=bitrate_index,
+            bitrate_mbps=float(self.video.bitrates_mbps[bitrate_index]),
+            chunk_size_bytes=size_bytes,
+            download_seconds=download_seconds,
+            rebuffer_seconds=rebuffer,
+            buffer_seconds=self.buffer_seconds,
+            throughput_mbps=throughput_mbps,
+        )
+        self.result.append(record)
+        self.previous_bitrate_index = bitrate_index
+        self.next_chunk += 1
+        return record
+
+    # ------------------------------------------------------------------ #
+    def run_policy(self, policy) -> SessionResult:
+        """Stream the whole video with ``policy`` (see :mod:`repro.abr.baselines`)."""
+        if hasattr(policy, "reset"):
+            policy.reset()
+        while not self.finished:
+            bitrate_index = policy.select_bitrate(self)
+            self.download_chunk(bitrate_index)
+        return self.result
+
+
+def simulate_session(policy, video: VideoManifest, trace: BandwidthTrace,
+                     config: Optional[SimulatorConfig] = None, seed: int = 0) -> SessionResult:
+    """Convenience wrapper: stream ``video`` over ``trace`` with ``policy``."""
+    session = StreamingSession(video, trace, config=config, seed=seed)
+    return session.run_policy(policy)

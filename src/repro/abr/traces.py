@@ -1,0 +1,150 @@
+"""Bandwidth traces for ABR simulation.
+
+The paper drives its simulator with the FCC broadband dataset and, for the
+generalization experiments, a synthetic dataset ("SynthTrace") with a wider
+bandwidth range and faster fluctuations; the real-world testbed additionally
+uses Norway 3G cellular traces.  None of those datasets can be downloaded
+here, so this module provides generators that match their qualitative
+statistics:
+
+* :func:`fcc_like_traces` — broadband-like: a few Mbps, slowly varying.
+* :func:`cellular_like_traces` — 3G-like: lower mean, bursty, occasional
+  outages down to a few hundred kbps.
+* :func:`synth_traces` — wider range and higher changing frequency
+  (Pensieve's synthetic-trace recipe), used by the unseen settings.
+
+Each trace is a step function: ``bandwidth_mbps[i]`` holds between
+``timestamps[i]`` and ``timestamps[i+1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..utils import seeded_rng
+
+
+@dataclass
+class BandwidthTrace:
+    """A piecewise-constant bandwidth time series.
+
+    Attributes
+    ----------
+    timestamps:
+        Strictly increasing times (seconds) of each bandwidth sample.
+    bandwidth_mbps:
+        Bandwidth (Mbps) in effect from ``timestamps[i]`` until the next
+        timestamp; the last value repeats (the trace loops when exhausted).
+    name:
+        Identifier used in reports.
+    """
+
+    timestamps: np.ndarray
+    bandwidth_mbps: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        self.bandwidth_mbps = np.asarray(self.bandwidth_mbps, dtype=np.float64)
+        if self.timestamps.ndim != 1 or self.bandwidth_mbps.ndim != 1:
+            raise ValueError("timestamps and bandwidth must be 1-D")
+        if self.timestamps.size != self.bandwidth_mbps.size:
+            raise ValueError("timestamps and bandwidth must have equal length")
+        if self.timestamps.size < 2:
+            raise ValueError("a trace needs at least two samples")
+        if np.any(np.diff(self.timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        if np.any(self.bandwidth_mbps <= 0):
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def duration(self) -> float:
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    @property
+    def mean_bandwidth(self) -> float:
+        return float(self.bandwidth_mbps.mean())
+
+    def bandwidth_at(self, t: float) -> float:
+        """Bandwidth (Mbps) in effect at absolute time ``t`` (trace loops)."""
+        span = self.duration
+        if span <= 0:
+            return float(self.bandwidth_mbps[0])
+        local = self.timestamps[0] + ((t - self.timestamps[0]) % span)
+        index = int(np.searchsorted(self.timestamps, local, side="right") - 1)
+        index = max(0, min(index, self.bandwidth_mbps.size - 1))
+        return float(self.bandwidth_mbps[index])
+
+
+def _markov_trace(rng: np.random.Generator, duration: float, step: float,
+                  mean_mbps: float, volatility: float, low: float, high: float,
+                  name: str) -> BandwidthTrace:
+    """Mean-reverting log-bandwidth random walk — the common generator core."""
+    steps = max(2, int(duration / step))
+    log_mean = np.log(mean_mbps)
+    log_bw = np.empty(steps)
+    log_bw[0] = log_mean + rng.normal(0, volatility)
+    for i in range(1, steps):
+        log_bw[i] = log_bw[i - 1] + 0.3 * (log_mean - log_bw[i - 1]) + rng.normal(0, volatility)
+    bandwidth = np.clip(np.exp(log_bw), low, high)
+    timestamps = np.arange(steps) * step
+    return BandwidthTrace(timestamps=timestamps, bandwidth_mbps=bandwidth, name=name)
+
+
+def fcc_like_traces(count: int = 20, duration: float = 320.0, seed: int = 0) -> List[BandwidthTrace]:
+    """Broadband-like traces: means of 1-4 Mbps, slow variation."""
+    rngs = seeded_rng(seed)
+    traces = []
+    for index in range(count):
+        mean = float(rngs.uniform(1.0, 4.0))
+        traces.append(_markov_trace(rngs, duration, step=4.0, mean_mbps=mean,
+                                    volatility=0.15, low=0.2, high=8.0,
+                                    name=f"fcc-{index}"))
+    return traces
+
+
+def cellular_like_traces(count: int = 20, duration: float = 320.0, seed: int = 1) -> List[BandwidthTrace]:
+    """3G-cellular-like traces: lower means, bursty with occasional outages."""
+    rng = seeded_rng(seed)
+    traces = []
+    for index in range(count):
+        mean = float(rng.uniform(0.6, 2.0))
+        trace = _markov_trace(rng, duration, step=2.0, mean_mbps=mean,
+                              volatility=0.35, low=0.1, high=6.0,
+                              name=f"cellular-{index}")
+        # Inject short outage-like dips.
+        dips = rng.integers(1, 4)
+        for _ in range(int(dips)):
+            start = rng.integers(0, trace.bandwidth_mbps.size - 3)
+            trace.bandwidth_mbps[start:start + 3] = np.maximum(
+                0.1, trace.bandwidth_mbps[start:start + 3] * 0.15)
+        traces.append(trace)
+    return traces
+
+
+def synth_traces(count: int = 20, duration: float = 320.0, seed: int = 2) -> List[BandwidthTrace]:
+    """SynthTrace-like traces: wider range (0.2-12 Mbps) and faster changes."""
+    rng = seeded_rng(seed)
+    traces = []
+    for index in range(count):
+        mean = float(rng.uniform(1.0, 6.0))
+        traces.append(_markov_trace(rng, duration, step=1.0, mean_mbps=mean,
+                                    volatility=0.45, low=0.2, high=12.0,
+                                    name=f"synth-{index}"))
+    return traces
+
+
+def get_traces(name: str, count: int = 20, duration: float = 320.0,
+               seed: Optional[int] = None) -> List[BandwidthTrace]:
+    """Look up a trace family by the names used in Table 3 / §A.5."""
+    key = name.lower()
+    if key in ("fcc", "broadband"):
+        return fcc_like_traces(count=count, duration=duration, seed=0 if seed is None else seed)
+    if key in ("cellular", "norway", "3g"):
+        return cellular_like_traces(count=count, duration=duration, seed=1 if seed is None else seed)
+    if key in ("synthtrace", "synth"):
+        return synth_traces(count=count, duration=duration, seed=2 if seed is None else seed)
+    raise KeyError(f"unknown trace family {name!r}")

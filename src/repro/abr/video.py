@@ -1,0 +1,110 @@
+"""Video manifests for adaptive bitrate streaming.
+
+A manifest describes a video as a ladder of bitrate versions and the size of
+every chunk at every bitrate.  The default manifest mirrors the
+*Envivio-Dash3* reference video used by Pensieve/GENET and the paper: 48
+four-second chunks encoded at {300, 750, 1200, 1850, 2850, 4300} kbps.  The
+``SynthVideo`` manifest used by the unseen-setting experiments keeps the same
+structure but with a larger bitrate ladder, as described in §A.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..utils import seeded_rng
+
+#: Envivio-Dash3 bitrate ladder in kbps (same as Pensieve / GENET).
+ENVIVIO_BITRATES_KBPS = (300, 750, 1200, 1850, 2850, 4300)
+
+#: SynthVideo bitrate ladder (larger bitrates, §A.4 unseen settings).
+SYNTH_BITRATES_KBPS = (500, 1200, 2000, 3000, 4500, 6500)
+
+#: Chunk duration in seconds for both videos.
+CHUNK_SECONDS = 4.0
+
+
+@dataclass
+class VideoManifest:
+    """Chunked video description used by the ABR simulator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``envivio-dash3`` or ``synth-video``).
+    bitrates_kbps:
+        The bitrate ladder, ascending.
+    chunk_sizes_bytes:
+        ``(num_chunks, num_bitrates)`` matrix of chunk sizes in bytes.
+    chunk_seconds:
+        Playback duration of each chunk.
+    """
+
+    name: str
+    bitrates_kbps: Sequence[int]
+    chunk_sizes_bytes: np.ndarray
+    chunk_seconds: float = CHUNK_SECONDS
+
+    def __post_init__(self) -> None:
+        self.bitrates_kbps = tuple(int(b) for b in self.bitrates_kbps)
+        self.chunk_sizes_bytes = np.asarray(self.chunk_sizes_bytes, dtype=np.float64)
+        if list(self.bitrates_kbps) != sorted(self.bitrates_kbps):
+            raise ValueError("bitrates must be ascending")
+        if self.chunk_sizes_bytes.ndim != 2:
+            raise ValueError("chunk_sizes_bytes must be 2-D (chunks, bitrates)")
+        if self.chunk_sizes_bytes.shape[1] != len(self.bitrates_kbps):
+            raise ValueError("chunk size matrix does not match bitrate ladder")
+        if np.any(self.chunk_sizes_bytes <= 0):
+            raise ValueError("chunk sizes must be positive")
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.chunk_sizes_bytes.shape[0])
+
+    @property
+    def num_bitrates(self) -> int:
+        return len(self.bitrates_kbps)
+
+    @property
+    def bitrates_mbps(self) -> np.ndarray:
+        return np.asarray(self.bitrates_kbps, dtype=np.float64) / 1000.0
+
+    def chunk_size(self, chunk_index: int, bitrate_index: int) -> float:
+        """Size in bytes of one chunk at one bitrate level."""
+        return float(self.chunk_sizes_bytes[chunk_index, bitrate_index])
+
+
+def _make_chunk_sizes(bitrates_kbps: Sequence[int], num_chunks: int, chunk_seconds: float,
+                      rng: np.random.Generator, size_noise: float = 0.12) -> np.ndarray:
+    """Chunk sizes = nominal bitrate * duration, with per-chunk encoder variation."""
+    nominal = np.asarray(bitrates_kbps, dtype=np.float64) * 1000.0 / 8.0 * chunk_seconds
+    variation = 1.0 + rng.normal(0.0, size_noise, size=(num_chunks, 1))
+    variation = np.clip(variation, 0.6, 1.4)
+    return nominal[None, :] * variation
+
+
+def envivio_dash3(num_chunks: int = 48, seed: int = 7) -> VideoManifest:
+    """The default training/testing video (Envivio-Dash3-like)."""
+    rng = seeded_rng(seed)
+    sizes = _make_chunk_sizes(ENVIVIO_BITRATES_KBPS, num_chunks, CHUNK_SECONDS, rng)
+    return VideoManifest("envivio-dash3", ENVIVIO_BITRATES_KBPS, sizes)
+
+
+def synth_video(num_chunks: int = 48, seed: int = 11) -> VideoManifest:
+    """The unseen-setting video with a larger bitrate ladder (§A.4)."""
+    rng = seeded_rng(seed)
+    sizes = _make_chunk_sizes(SYNTH_BITRATES_KBPS, num_chunks, CHUNK_SECONDS, rng)
+    return VideoManifest("synth-video", SYNTH_BITRATES_KBPS, sizes)
+
+
+def get_video(name: str, num_chunks: int = 48, seed: Optional[int] = None) -> VideoManifest:
+    """Look up a video manifest by the names used in Table 3."""
+    key = name.lower()
+    if key in ("envivio-dash3", "envivio_dash3", "envivio"):
+        return envivio_dash3(num_chunks=num_chunks, seed=7 if seed is None else seed)
+    if key in ("synth-video", "synthvideo", "synth_video"):
+        return synth_video(num_chunks=num_chunks, seed=11 if seed is None else seed)
+    raise KeyError(f"unknown video manifest {name!r}")

@@ -1,0 +1,45 @@
+"""``repro.cjs`` — cluster job scheduling substrate (DAG jobs, simulator, baselines)."""
+
+from .jobs import Job, Stage, TPCHLikeJobGenerator
+from .simulator import (
+    CJSResult,
+    ClusterSimulator,
+    SchedulingContext,
+    SchedulingDecision,
+    StageState,
+    run_workload,
+)
+from .env import (
+    CANDIDATE_FEATURES,
+    GLOBAL_FEATURES,
+    MAX_CANDIDATES,
+    PARALLELISM_FRACTIONS,
+    CJSTrajectory,
+    CJSTransition,
+    action_from_decision,
+    collect_trajectory,
+    decision_from_action,
+    encode_observation,
+    observation_size,
+    ordered_candidates,
+)
+from .settings import CJS_SETTINGS, CJSSetting, SCALE_FACTOR, build_workload
+from .baselines import (
+    DecimaScheduler,
+    FIFOScheduler,
+    FairScheduler,
+    ShortestJobFirstScheduler,
+    train_decima,
+)
+
+__all__ = [
+    "Job", "Stage", "TPCHLikeJobGenerator",
+    "CJSResult", "ClusterSimulator", "SchedulingContext", "SchedulingDecision", "StageState",
+    "run_workload",
+    "CANDIDATE_FEATURES", "GLOBAL_FEATURES", "MAX_CANDIDATES", "PARALLELISM_FRACTIONS",
+    "CJSTrajectory", "CJSTransition", "action_from_decision", "collect_trajectory",
+    "decision_from_action", "encode_observation", "observation_size", "ordered_candidates",
+    "CJS_SETTINGS", "CJSSetting", "SCALE_FACTOR", "build_workload",
+    "DecimaScheduler", "FIFOScheduler", "FairScheduler", "ShortestJobFirstScheduler",
+    "train_decima",
+]

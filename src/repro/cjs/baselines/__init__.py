@@ -1,0 +1,12 @@
+"""CJS baseline schedulers: FIFO, Fair, the SJF teacher and Decima."""
+
+from .heuristics import FIFOScheduler, FairScheduler, ShortestJobFirstScheduler
+from .decima import DecimaScheduler, train_decima
+
+__all__ = [
+    "FIFOScheduler",
+    "FairScheduler",
+    "ShortestJobFirstScheduler",
+    "DecimaScheduler",
+    "train_decima",
+]

@@ -1,0 +1,83 @@
+"""Rule-based cluster schedulers: FIFO, Fair and shortest-job-first.
+
+FIFO and Fair are the two Spark scheduling modes the paper compares against
+(§A.3).  :class:`ShortestJobFirstScheduler` is not a paper baseline — it is a
+strong heuristic (shortest-remaining-work-first, near-optimal for average
+JCT on a single resource pool) used as the teacher for Decima's imitation
+warm start and as one of the "existing algorithms" that populate the DD-LRNA
+experience pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator import SchedulingContext, SchedulingDecision
+
+
+class FIFOScheduler:
+    """Serve jobs strictly in arrival order, giving each all free executors."""
+
+    name = "FIFO"
+
+    def reset(self) -> None:
+        """FIFO is stateless."""
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        job_id, stage_id = min(
+            context.runnable,
+            key=lambda key: (context.jobs[key[0]].arrival_time, key[0], key[1]),
+        )
+        stage = context.stage(job_id, stage_id)
+        allocation = min(context.free_executors, stage.num_tasks)
+        return SchedulingDecision(job_id=job_id, stage_id=stage_id, num_executors=allocation)
+
+
+class FairScheduler:
+    """Round-robin over jobs so each receives a roughly equal executor share."""
+
+    name = "Fair"
+
+    def __init__(self) -> None:
+        self._last_job: Optional[int] = None
+
+    def reset(self) -> None:
+        self._last_job = None
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        jobs_with_work = sorted({job_id for job_id, _ in context.runnable})
+        # Rotate to the job after the one served most recently.
+        if self._last_job in jobs_with_work:
+            pivot = jobs_with_work.index(self._last_job) + 1
+            order = jobs_with_work[pivot:] + jobs_with_work[:pivot]
+        else:
+            order = jobs_with_work
+        job_id = order[0]
+        self._last_job = job_id
+        stage_id = min(sid for jid, sid in context.runnable if jid == job_id)
+        stage = context.stage(job_id, stage_id)
+        fair_share = max(1, context.free_executors // max(1, len(jobs_with_work)))
+        allocation = min(fair_share, stage.num_tasks)
+        return SchedulingDecision(job_id=job_id, stage_id=stage_id, num_executors=allocation)
+
+
+class ShortestJobFirstScheduler:
+    """Run the runnable stage of the job with the least remaining work."""
+
+    name = "SJF"
+
+    def reset(self) -> None:
+        """SJF is stateless."""
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        def key(candidate):
+            job_id, stage_id = candidate
+            return (context.remaining_job_work(job_id),
+                    context.jobs[job_id].arrival_time, job_id, stage_id)
+
+        job_id, stage_id = min(context.runnable, key=key)
+        stage = context.stage(job_id, stage_id)
+        allocation = min(context.free_executors, stage.num_tasks)
+        return SchedulingDecision(job_id=job_id, stage_id=stage_id, num_executors=allocation)

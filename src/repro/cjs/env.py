@@ -1,0 +1,182 @@
+"""Observation encoding and trajectory collection for learning-based CJS.
+
+Learned schedulers (Decima, NetLLM) need a fixed-size view of the scheduling
+state.  Following Decima, the observation at each decision point consists of
+
+* per-candidate features for up to :data:`MAX_CANDIDATES` runnable stages
+  (task count, task duration, stage work, remaining work of the owning job and
+  its rank among candidates, job age, number of runnable stages in the job,
+  validity mask), candidates
+  listed in arrival/FIFO order so that picking the right one requires reading
+  the features, and
+* global features (free-executor fraction, number of active jobs, wall time).
+
+Actions have two components, as in the paper (Table 1): the candidate index
+of the stage to run next, and a parallelism bucket giving the fraction of the
+currently free executors to grant.
+
+:func:`collect_trajectory` replays any scheduler over a workload and records
+``(observation, action, reward)`` tuples, with the standard Decima reward
+``-(number of active jobs) x (elapsed time)`` between decisions, whose sum
+equals the negative total job completion time.  This is what the DD-LRNA
+experience collector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .jobs import Job
+from .simulator import (
+    CJSResult,
+    ClusterSimulator,
+    SchedulingContext,
+    SchedulingDecision,
+)
+
+#: Maximum number of candidate stages encoded in one observation.
+MAX_CANDIDATES = 8
+#: Features per candidate stage.
+CANDIDATE_FEATURES = 8
+#: Global features appended after the candidate block.
+GLOBAL_FEATURES = 3
+#: Discrete parallelism buckets (fraction of free executors to allocate).
+PARALLELISM_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def observation_size() -> int:
+    """Length of the flattened CJS observation vector."""
+    return MAX_CANDIDATES * CANDIDATE_FEATURES + GLOBAL_FEATURES
+
+
+def ordered_candidates(context: SchedulingContext) -> List[Tuple[int, int]]:
+    """Runnable stages in FIFO (arrival time, job id, stage id) order, truncated."""
+    ordered = sorted(
+        context.runnable,
+        key=lambda key: (context.jobs[key[0]].arrival_time, key[0], key[1]),
+    )
+    return ordered[:MAX_CANDIDATES]
+
+
+def encode_observation(context: SchedulingContext) -> np.ndarray:
+    """Encode a scheduling context into the flat observation vector."""
+    candidates = ordered_candidates(context)
+    features = np.zeros((MAX_CANDIDATES, CANDIDATE_FEATURES))
+    runnable_per_job: Dict[int, int] = {}
+    for job_id, _ in context.runnable:
+        runnable_per_job[job_id] = runnable_per_job.get(job_id, 0) + 1
+    remaining_work = [context.remaining_job_work(job_id) for job_id, _ in candidates]
+    # Rank of each candidate's owning-job remaining work (0 = least work left).
+    work_rank = np.argsort(np.argsort(remaining_work)) if candidates else np.zeros(0)
+    for row, (job_id, stage_id) in enumerate(candidates):
+        stage = context.stage(job_id, stage_id)
+        job = context.jobs[job_id]
+        features[row] = [
+            stage.num_tasks / 20.0,
+            stage.task_duration / 4.0,
+            stage.total_work / 40.0,
+            remaining_work[row] / 200.0,
+            work_rank[row] / MAX_CANDIDATES,
+            (context.time - job.arrival_time) / 100.0,
+            runnable_per_job.get(job_id, 0) / 5.0,
+            1.0,  # validity mask
+        ]
+    global_features = np.asarray([
+        context.free_executors / max(context.total_executors, 1),
+        len(context.active_jobs()) / 10.0,
+        context.time / 500.0,
+    ])
+    return np.concatenate([features.reshape(-1), global_features])
+
+
+def decision_from_action(context: SchedulingContext, candidate_index: int,
+                         parallelism_bucket: int) -> SchedulingDecision:
+    """Translate a (candidate index, parallelism bucket) action into a decision.
+
+    Invalid candidate indices are clamped to the nearest valid candidate so
+    that any action a learned policy emits is executable — the same guarantee
+    the NetLLM networking head gives by construction.
+    """
+    candidates = ordered_candidates(context)
+    index = int(np.clip(candidate_index, 0, len(candidates) - 1))
+    bucket = int(np.clip(parallelism_bucket, 0, len(PARALLELISM_FRACTIONS) - 1))
+    job_id, stage_id = candidates[index]
+    fraction = PARALLELISM_FRACTIONS[bucket]
+    executors = max(1, int(round(fraction * context.free_executors)))
+    return SchedulingDecision(job_id=job_id, stage_id=stage_id, num_executors=executors)
+
+
+def action_from_decision(context: SchedulingContext, decision: SchedulingDecision
+                         ) -> Tuple[int, int]:
+    """Inverse of :func:`decision_from_action`, used when recording teacher actions."""
+    candidates = ordered_candidates(context)
+    key = (decision.job_id, decision.stage_id)
+    try:
+        index = candidates.index(key)
+    except ValueError:
+        index = 0
+    fraction = decision.num_executors / max(context.free_executors, 1)
+    bucket = int(np.argmin([abs(fraction - f) for f in PARALLELISM_FRACTIONS]))
+    return index, bucket
+
+
+@dataclass
+class CJSTransition:
+    """One (state, action, reward) step of a scheduling trajectory."""
+
+    observation: np.ndarray
+    candidate_index: int
+    parallelism_bucket: int
+    reward: float
+    time: float
+
+
+@dataclass
+class CJSTrajectory:
+    """A full scheduling trajectory plus the resulting workload metrics."""
+
+    transitions: List[CJSTransition]
+    result: CJSResult
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(t.reward for t in self.transitions))
+
+
+def collect_trajectory(scheduler, jobs: Sequence[Job], num_executors: int) -> CJSTrajectory:
+    """Run ``scheduler`` over ``jobs`` and record its decisions as a trajectory.
+
+    Rewards follow Decima: between consecutive decisions, each active job
+    accrues a penalty proportional to the elapsed time, so maximizing the sum
+    of rewards minimizes the total (and hence average) job completion time.
+    """
+    records: List[Dict] = []
+
+    def callback(context: SchedulingContext, decision: SchedulingDecision) -> None:
+        index, bucket = action_from_decision(context, decision)
+        records.append({
+            "observation": encode_observation(context),
+            "candidate_index": index,
+            "parallelism_bucket": bucket,
+            "time": context.time,
+            "active_jobs": len(context.active_jobs()),
+        })
+
+    result = ClusterSimulator(jobs, num_executors).run(scheduler, decision_callback=callback)
+
+    transitions: List[CJSTransition] = []
+    for i, record in enumerate(records):
+        next_time = records[i + 1]["time"] if i + 1 < len(records) else result.makespan
+        elapsed = max(0.0, next_time - record["time"])
+        reward = -record["active_jobs"] * elapsed
+        transitions.append(CJSTransition(
+            observation=record["observation"],
+            candidate_index=record["candidate_index"],
+            parallelism_bucket=record["parallelism_bucket"],
+            reward=reward,
+            time=record["time"],
+        ))
+    return CJSTrajectory(transitions=transitions, result=result)

@@ -1,0 +1,55 @@
+"""CJS simulation settings (Table 4 of the paper).
+
+The paper scales two knobs between the default and unseen settings: the
+number of job requests (200 vs 450) and the executor-resource budget (50k vs
+30k units).  The reproduction keeps the same ratios at a smaller absolute
+scale so workloads simulate in seconds: the executor pool and job count are
+divided by a constant factor, which preserves the load (work per executor)
+that drives the relative scheduler ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .jobs import Job, TPCHLikeJobGenerator
+
+#: Scale factor between the paper's absolute numbers and the reproduction's.
+SCALE_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class CJSSetting:
+    """One row of Table 4 (paper-scale numbers)."""
+
+    name: str
+    num_jobs: int
+    num_executors: int
+
+    @property
+    def scaled_num_jobs(self) -> int:
+        return max(4, self.num_jobs // SCALE_FACTOR)
+
+    @property
+    def scaled_num_executors(self) -> int:
+        return max(2, self.num_executors // SCALE_FACTOR)
+
+
+#: Table 4 of the paper (executor resources expressed in "k units" -> units here).
+CJS_SETTINGS: Dict[str, CJSSetting] = {
+    "default_train": CJSSetting("default_train", num_jobs=200, num_executors=50),
+    "default_test": CJSSetting("default_test", num_jobs=200, num_executors=50),
+    "unseen_setting1": CJSSetting("unseen_setting1", num_jobs=200, num_executors=30),
+    "unseen_setting2": CJSSetting("unseen_setting2", num_jobs=450, num_executors=50),
+    "unseen_setting3": CJSSetting("unseen_setting3", num_jobs=450, num_executors=30),
+}
+
+
+def build_workload(setting: CJSSetting, seed: int = 0, mean_interarrival: float = 6.0
+                   ) -> tuple[List[Job], int]:
+    """Materialize (jobs, num_executors) for a setting at reproduction scale."""
+    generator = TPCHLikeJobGenerator(seed=seed)
+    jobs = generator.generate_workload(setting.scaled_num_jobs,
+                                       mean_interarrival=mean_interarrival)
+    return jobs, setting.scaled_num_executors

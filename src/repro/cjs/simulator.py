@@ -1,0 +1,218 @@
+"""Discrete-event cluster simulator for DAG job scheduling.
+
+The simulator owns a pool of identical executors.  Whenever executors are
+free and runnable stages exist, it asks the scheduler for a decision —
+*(which runnable stage to run next, how many executors to give it)* — exactly
+the two-part action of Decima and of the paper's CJS task.  The chosen stage
+then runs its tasks in waves over the granted executors and releases them on
+completion, unlocking child stages.
+
+Job completion time (JCT) is ``finish_time - arrival_time`` per job; the
+evaluation metric is the average JCT over the workload (§A.6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .jobs import Job, Stage
+
+
+@dataclass
+class SchedulingDecision:
+    """A scheduler's answer: run ``stage_id`` of ``job_id`` on ``num_executors``."""
+
+    job_id: int
+    stage_id: int
+    num_executors: int
+
+
+@dataclass
+class StageState:
+    """Bookkeeping for one stage during simulation."""
+
+    job_id: int
+    stage_id: int
+    status: str = "blocked"  # blocked -> runnable -> running -> done
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    executors: int = 0
+
+
+@dataclass
+class CJSResult:
+    """Outcome of simulating one workload."""
+
+    job_completion_times: Dict[int, float] = field(default_factory=dict)
+    job_arrivals: Dict[int, float] = field(default_factory=dict)
+    makespan: float = 0.0
+    decisions: int = 0
+
+    @property
+    def jcts(self) -> np.ndarray:
+        return np.asarray([self.job_completion_times[j] - self.job_arrivals[j]
+                           for j in sorted(self.job_completion_times)], dtype=np.float64)
+
+    @property
+    def average_jct(self) -> float:
+        jcts = self.jcts
+        return float(jcts.mean()) if jcts.size else 0.0
+
+
+@dataclass
+class SchedulingContext:
+    """Snapshot handed to schedulers when a decision is needed."""
+
+    time: float
+    free_executors: int
+    total_executors: int
+    jobs: Dict[int, Job]
+    stage_states: Dict[Tuple[int, int], StageState]
+    runnable: List[Tuple[int, int]]  # (job_id, stage_id) pairs
+
+    def stage(self, job_id: int, stage_id: int) -> Stage:
+        return self.jobs[job_id].stages[stage_id]
+
+    def remaining_job_work(self, job_id: int) -> float:
+        """Total work of the job's stages that have not finished yet."""
+        total = 0.0
+        for stage_id, stage in self.jobs[job_id].stages.items():
+            state = self.stage_states[(job_id, stage_id)]
+            if state.status != "done":
+                total += stage.total_work
+        return total
+
+    def active_jobs(self) -> List[int]:
+        return sorted({job_id for (job_id, _), state in self.stage_states.items()
+                       if state.status != "done"})
+
+
+class ClusterSimulator:
+    """Event-driven simulator of a homogeneous executor pool."""
+
+    def __init__(self, jobs: Sequence[Job], num_executors: int) -> None:
+        if num_executors < 1:
+            raise ValueError("num_executors must be >= 1")
+        if not jobs:
+            raise ValueError("at least one job is required")
+        self.jobs: Dict[int, Job] = {job.job_id: job for job in jobs}
+        self.num_executors = num_executors
+
+    # ------------------------------------------------------------------ #
+    def run(self, scheduler, decision_callback=None) -> CJSResult:
+        """Simulate the workload under ``scheduler``.
+
+        ``scheduler`` must implement ``schedule(context) -> SchedulingDecision``.
+        ``decision_callback(context, decision)``, when given, is invoked for
+        every decision — the DD-LRNA experience collector uses it to record
+        trajectories without touching scheduler internals.
+        """
+        if hasattr(scheduler, "reset"):
+            scheduler.reset()
+        stage_states: Dict[Tuple[int, int], StageState] = {}
+        for job in self.jobs.values():
+            for stage_id in job.stages:
+                stage_states[(job.job_id, stage_id)] = StageState(job.job_id, stage_id)
+
+        result = CJSResult()
+        for job in self.jobs.values():
+            result.job_arrivals[job.job_id] = job.arrival_time
+
+        # Event queue: (time, sequence, kind, payload)
+        events: List[Tuple[float, int, str, Tuple[int, int]]] = []
+        seq = 0
+        for job in self.jobs.values():
+            heapq.heappush(events, (job.arrival_time, seq, "arrival", (job.job_id, -1)))
+            seq += 1
+
+        free = self.num_executors
+        now = 0.0
+        arrived: set[int] = set()
+        running: Dict[Tuple[int, int], int] = {}
+
+        def unlock_runnable(job_id: int) -> None:
+            job = self.jobs[job_id]
+            for stage_id in job.stages:
+                state = stage_states[(job_id, stage_id)]
+                if state.status != "blocked":
+                    continue
+                parents_done = all(
+                    stage_states[(job_id, parent)].status == "done"
+                    for parent in job.parents(stage_id)
+                )
+                if parents_done:
+                    state.status = "runnable"
+
+        def runnable_stages() -> List[Tuple[int, int]]:
+            return [(job_id, stage_id) for (job_id, stage_id), state in stage_states.items()
+                    if state.status == "runnable" and job_id in arrived]
+
+        def dispatch() -> None:
+            """Keep asking the scheduler while work and executors are available."""
+            nonlocal free, seq
+            while free > 0:
+                candidates = runnable_stages()
+                if not candidates:
+                    return
+                context = SchedulingContext(
+                    time=now, free_executors=free, total_executors=self.num_executors,
+                    jobs=self.jobs, stage_states=stage_states, runnable=candidates,
+                )
+                decision = scheduler.schedule(context)
+                if decision is None:
+                    return
+                key = (decision.job_id, decision.stage_id)
+                if key not in set(candidates):
+                    raise ValueError(f"scheduler chose non-runnable stage {key}")
+                allocation = int(np.clip(decision.num_executors, 1, free))
+                stage = self.jobs[decision.job_id].stages[decision.stage_id]
+                allocation = min(allocation, stage.num_tasks)
+                waves = int(np.ceil(stage.num_tasks / allocation))
+                duration = waves * stage.task_duration
+                state = stage_states[key]
+                state.status = "running"
+                state.start_time = now
+                state.executors = allocation
+                running[key] = allocation
+                free -= allocation
+                result.decisions += 1
+                if decision_callback is not None:
+                    decision_callback(context, SchedulingDecision(decision.job_id,
+                                                                  decision.stage_id, allocation))
+                heapq.heappush(events, (now + duration, seq, "finish", key))
+                seq += 1
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == "arrival":
+                job_id = payload[0]
+                arrived.add(job_id)
+                unlock_runnable(job_id)
+            else:  # stage finish
+                key = payload
+                job_id, stage_id = key
+                state = stage_states[key]
+                state.status = "done"
+                state.finish_time = now
+                free += running.pop(key)
+                unlock_runnable(job_id)
+                if all(stage_states[(job_id, sid)].status == "done"
+                       for sid in self.jobs[job_id].stages):
+                    result.job_completion_times[job_id] = now
+            dispatch()
+
+        unfinished = [key for key, state in stage_states.items() if state.status != "done"]
+        if unfinished:
+            raise RuntimeError(f"simulation ended with unfinished stages: {unfinished[:5]}")
+        result.makespan = now
+        return result
+
+
+def run_workload(scheduler, jobs: Sequence[Job], num_executors: int,
+                 decision_callback=None) -> CJSResult:
+    """Convenience wrapper around :class:`ClusterSimulator`."""
+    return ClusterSimulator(jobs, num_executors).run(scheduler, decision_callback)

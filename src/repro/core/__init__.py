@@ -1,0 +1,81 @@
+"""``repro.core`` — the NetLLM framework (the paper's primary contribution).
+
+Multimodal encoder, networking heads, adapters over a frozen LLM, the
+DD-LRNA data-driven low-rank adaptation scheme, the prompt-learning baseline,
+adaptation-cost profiling and the Figure 9 integration APIs.
+"""
+
+from .encoder import (
+    DiscreteEncoder,
+    GraphModalityEncoder,
+    ImageEncoder,
+    ScalarEncoder,
+    TimeSeriesEncoder,
+    TokenProjector,
+    tokens_to_sequence,
+)
+from .heads import ABRHead, CJSHead, VPHead
+from .adapter import DecisionAdapter, DecisionBatch, NetLLMAdapter, VPAdapter, VP_ANGLE_SCALE
+from .experience import ExperiencePool, Trajectory
+from .ddlrna import (
+    AdaptationResult,
+    NetLLMABRPolicy,
+    NetLLMCJSScheduler,
+    adapt_decision,
+    adapt_prediction,
+    collect_abr_experience,
+    collect_cjs_experience,
+)
+from .prompt_learning import (
+    PromptLearningResult,
+    PromptLearningVP,
+    build_answer,
+    build_prompt,
+    parse_answer,
+)
+from .profiler import (
+    FineTuneCost,
+    InferenceOverhead,
+    RLAdaptationCost,
+    finetune_memory_bytes,
+    profile_finetune,
+    profile_inference,
+    profile_rl_adaptation,
+)
+from .tasks import TASKS, TaskInfo
+from .api import (
+    ABRAdaptation,
+    CJSAdaptation,
+    DEFAULT_CONTEXT_WINDOW,
+    DEFAULT_LORA_RANK,
+    VPAdaptation,
+    abr_baseline_policies,
+    adapt_abr,
+    adapt_cjs,
+    adapt_vp,
+    cjs_baseline_schedulers,
+    evaluate_abr_policies,
+    evaluate_cjs_schedulers,
+    evaluate_vp_methods,
+    rl_collect_abr,
+    rl_collect_cjs,
+)
+
+__all__ = [
+    "DiscreteEncoder", "GraphModalityEncoder", "ImageEncoder", "ScalarEncoder",
+    "TimeSeriesEncoder", "TokenProjector", "tokens_to_sequence",
+    "ABRHead", "CJSHead", "VPHead",
+    "DecisionAdapter", "DecisionBatch", "NetLLMAdapter", "VPAdapter", "VP_ANGLE_SCALE",
+    "ExperiencePool", "Trajectory",
+    "AdaptationResult", "NetLLMABRPolicy", "NetLLMCJSScheduler",
+    "adapt_decision", "adapt_prediction", "collect_abr_experience", "collect_cjs_experience",
+    "PromptLearningResult", "PromptLearningVP", "build_answer", "build_prompt", "parse_answer",
+    "FineTuneCost", "InferenceOverhead", "RLAdaptationCost",
+    "finetune_memory_bytes", "profile_finetune", "profile_inference", "profile_rl_adaptation",
+    "TASKS", "TaskInfo",
+    "ABRAdaptation", "CJSAdaptation", "DEFAULT_CONTEXT_WINDOW", "DEFAULT_LORA_RANK",
+    "VPAdaptation",
+    "abr_baseline_policies", "adapt_abr", "adapt_cjs", "adapt_vp",
+    "cjs_baseline_schedulers", "evaluate_abr_policies", "evaluate_cjs_schedulers",
+    "evaluate_vp_methods", "rl_collect_abr", "rl_collect_cjs",
+]

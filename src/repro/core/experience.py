@@ -1,0 +1,144 @@
+"""Experience pools for data-driven RL adaptation (§4.3).
+
+For decision-making tasks, DD-LRNA replaces online environment interaction
+with a dataset of trajectories collected *once* from existing (non-LLM)
+algorithms.  A trajectory stores states, the (possibly multi-component)
+actions the teacher took, and per-step rewards; the pool converts rewards to
+returns-to-go and serves fixed-length context windows for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils import seeded_rng
+
+
+@dataclass
+class Trajectory:
+    """One episode of experience collected from an existing policy."""
+
+    states: np.ndarray   # (T, state_dim)
+    actions: np.ndarray  # (T, num_components) integer actions
+    rewards: np.ndarray  # (T,)
+    policy_name: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.states = np.asarray(self.states, dtype=np.float64)
+        self.actions = np.asarray(self.actions, dtype=np.int64)
+        self.rewards = np.asarray(self.rewards, dtype=np.float64)
+        if self.actions.ndim == 1:
+            self.actions = self.actions[:, None]
+        if not (len(self.states) == len(self.actions) == len(self.rewards)):
+            raise ValueError("states, actions and rewards must have equal length")
+        if len(self.states) == 0:
+            raise ValueError("empty trajectory")
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def total_reward(self) -> float:
+        return float(self.rewards.sum())
+
+    def returns_to_go(self) -> np.ndarray:
+        """Cumulative future reward from each step (the paper's R_t)."""
+        return np.cumsum(self.rewards[::-1])[::-1].copy()
+
+
+class ExperiencePool:
+    """A dataset of trajectories with window sampling for DD-LRNA training."""
+
+    def __init__(self, state_dim: int, action_dims: Sequence[int]) -> None:
+        self.state_dim = state_dim
+        self.action_dims = tuple(int(a) for a in action_dims)
+        self.trajectories: List[Trajectory] = []
+
+    # ------------------------------------------------------------------ #
+    def add(self, trajectory: Trajectory) -> None:
+        if trajectory.states.shape[1] != self.state_dim:
+            raise ValueError(
+                f"state dim mismatch: pool expects {self.state_dim}, got {trajectory.states.shape[1]}")
+        if trajectory.actions.shape[1] != len(self.action_dims):
+            raise ValueError("action component count mismatch")
+        for component, dim in enumerate(self.action_dims):
+            if np.any(trajectory.actions[:, component] < 0) or np.any(trajectory.actions[:, component] >= dim):
+                raise ValueError(f"action component {component} out of range [0, {dim})")
+        self.trajectories.append(trajectory)
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def num_transitions(self) -> int:
+        return int(sum(len(t) for t in self.trajectories))
+
+    @property
+    def return_scale(self) -> float:
+        """Normalization constant for returns (max |total reward| across the pool)."""
+        if not self.trajectories:
+            return 1.0
+        scale = max(abs(t.total_reward) for t in self.trajectories)
+        return float(scale) if scale > 0 else 1.0
+
+    @property
+    def best_return(self) -> float:
+        """Highest total reward in the pool (used as the inference target return)."""
+        if not self.trajectories:
+            return 0.0
+        return float(max(t.total_reward for t in self.trajectories))
+
+    def policy_names(self) -> List[str]:
+        return sorted({t.policy_name for t in self.trajectories})
+
+    # ------------------------------------------------------------------ #
+    def sample_windows(self, batch_size: int, window: int, seed: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample ``batch_size`` context windows of length ``window``.
+
+        Returns ``(returns, states, actions)`` with shapes
+        ``(batch, window, 1)``, ``(batch, window, state_dim)`` and
+        ``(batch, window, components)``.  Trajectories shorter than the window
+        are left-padded by repeating their first step, matching how the
+        adapter pads its inference context.
+        """
+        if not self.trajectories:
+            raise ValueError("experience pool is empty")
+        rng = rng or seeded_rng(seed)
+        scale = self.return_scale
+        returns_out = np.zeros((batch_size, window, 1))
+        states_out = np.zeros((batch_size, window, self.state_dim))
+        actions_out = np.zeros((batch_size, window, len(self.action_dims)), dtype=np.int64)
+        for row in range(batch_size):
+            trajectory = self.trajectories[int(rng.integers(0, len(self.trajectories)))]
+            rtg = trajectory.returns_to_go() / scale
+            length = len(trajectory)
+            if length >= window:
+                start = int(rng.integers(0, length - window + 1))
+                sl = slice(start, start + window)
+                returns_out[row, :, 0] = rtg[sl]
+                states_out[row] = trajectory.states[sl]
+                actions_out[row] = trajectory.actions[sl]
+            else:
+                pad = window - length
+                returns_out[row, pad:, 0] = rtg
+                returns_out[row, :pad, 0] = rtg[0]
+                states_out[row, pad:] = trajectory.states
+                states_out[row, :pad] = trajectory.states[0]
+                actions_out[row, pad:] = trajectory.actions
+                actions_out[row, :pad] = trajectory.actions[0]
+        return returns_out, states_out, actions_out
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        returns = [t.total_reward for t in self.trajectories]
+        return {
+            "num_trajectories": len(self.trajectories),
+            "num_transitions": self.num_transitions,
+            "mean_return": float(np.mean(returns)) if returns else 0.0,
+            "best_return": self.best_return,
+        }

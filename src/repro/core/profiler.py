@@ -1,0 +1,143 @@
+"""Adaptation-cost and inference-overhead profiling (Figures 3, 4 and §5.4).
+
+The paper quantifies three kinds of cost:
+
+* **Fine-tuning strategy cost** (Figure 4): trainable-parameter fraction, GPU
+  memory and wall-clock time of full-parameter fine-tuning versus DD-LRNA's
+  LoRA fine-tuning.  Offline we report parameter/optimizer/gradient memory in
+  bytes (the quantity GPU memory is dominated by) and measured wall-clock on
+  identical short training runs.
+* **RL adaptation pipeline cost** (Figure 3): time spent interacting with the
+  environment to collect experience versus time spent updating parameters,
+  for standard (online) RL adaptation and for DD-LRNA's collect-once
+  pipeline.
+* **Deployment overhead** (§5.4): model memory footprint and per-answer
+  generation latency of the adapted LLM.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..nn import Adam, Module, Tensor
+from ..utils import Timer
+
+#: Bytes of training state per parameter for Adam-style optimizers:
+#: parameter + gradient + first and second moment estimates.
+TRAIN_STATE_MULTIPLIER = 4
+
+
+@dataclass
+class FineTuneCost:
+    """Cost summary of one fine-tuning configuration (a Figure 4 bar group)."""
+
+    label: str
+    total_parameters: int
+    trainable_parameters: int
+    training_memory_bytes: int
+    wall_seconds: float
+
+    @property
+    def trainable_fraction(self) -> float:
+        return self.trainable_parameters / self.total_parameters if self.total_parameters else 0.0
+
+
+def finetune_memory_bytes(module: Module) -> int:
+    """Approximate training memory: all parameters + training state for trainable ones."""
+    total = 0
+    for param in module.parameters():
+        total += param.data.nbytes
+        if param.requires_grad:
+            total += param.data.nbytes * (TRAIN_STATE_MULTIPLIER - 1)
+    return int(total)
+
+
+def profile_finetune(label: str, module: Module, step_fn: Callable[[], float],
+                     steps: int = 20) -> FineTuneCost:
+    """Measure cost of running ``step_fn`` (one optimizer step) ``steps`` times."""
+    start = time.perf_counter()
+    for _ in range(steps):
+        step_fn()
+    wall = time.perf_counter() - start
+    return FineTuneCost(
+        label=label,
+        total_parameters=module.num_parameters(),
+        trainable_parameters=module.num_parameters(trainable_only=True),
+        training_memory_bytes=finetune_memory_bytes(module),
+        wall_seconds=wall,
+    )
+
+
+@dataclass
+class RLAdaptationCost:
+    """Time split of one RL adaptation pipeline (a Figure 3 bar)."""
+
+    label: str
+    experience_seconds: float
+    update_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.experience_seconds + self.update_seconds
+
+    @property
+    def experience_fraction(self) -> float:
+        total = self.total_seconds
+        return self.experience_seconds / total if total else 0.0
+
+
+def profile_rl_adaptation(label: str, collect_fn: Callable[[], None],
+                          update_fn: Callable[[], None], collect_rounds: int,
+                          update_rounds: int) -> RLAdaptationCost:
+    """Time ``collect_rounds`` of experience collection and ``update_rounds`` of updates.
+
+    Standard RL interleaves collection with every update (``collect_rounds ==
+    update_rounds``); DD-LRNA collects once (``collect_rounds == 1``) and then
+    only updates.
+    """
+    timer = Timer()
+    timer.start("experience")
+    for _ in range(collect_rounds):
+        collect_fn()
+    timer.stop("experience")
+    timer.start("update")
+    for _ in range(update_rounds):
+        update_fn()
+    timer.stop("update")
+    return RLAdaptationCost(label=label,
+                            experience_seconds=timer.total("experience"),
+                            update_seconds=timer.total("update"))
+
+
+@dataclass
+class InferenceOverhead:
+    """Deployment overhead of an adapted model (§5.4)."""
+
+    label: str
+    model_memory_bytes: int
+    mean_latency_seconds: float
+    p90_latency_seconds: float
+    simulated_param_count: float = 0.0
+
+
+def profile_inference(label: str, module: Module, infer_fn: Callable[[], None],
+                      repetitions: int = 20, simulated_param_count: float = 0.0
+                      ) -> InferenceOverhead:
+    """Measure per-answer latency of ``infer_fn`` and the model's memory footprint."""
+    latencies: List[float] = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        infer_fn()
+        latencies.append(time.perf_counter() - start)
+    memory = int(sum(p.data.nbytes for p in module.parameters()))
+    return InferenceOverhead(
+        label=label,
+        model_memory_bytes=memory,
+        mean_latency_seconds=float(np.mean(latencies)),
+        p90_latency_seconds=float(np.percentile(latencies, 90)),
+        simulated_param_count=simulated_param_count,
+    )

@@ -1,0 +1,156 @@
+"""Prompt-learning baseline for LLM adaptation (Figure 2 / Figure 17 / §A.1).
+
+The natural alternative to NetLLM's multimodal encoder is to serialize task
+inputs into a textual prompt and let the LLM answer with its LM head.  This
+module reproduces that pipeline for the VP task:
+
+* a prompt template renders the historical viewports as text and asks for the
+  future viewports,
+* the LLM is fine-tuned on (prompt, answer) pairs with the standard token-
+  level cross-entropy (prompt learning),
+* at inference the answer is generated autoregressively and parsed back into
+  viewport coordinates; answers that cannot be parsed are counted as invalid
+  (the hallucination problem) and fall back to repeating the last viewport.
+
+The same machinery provides the latency and validity measurements that
+Figure 2 contrasts with the networking-head approach.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..llm import LanguageModel, generate
+from ..nn import Adam, clip_grad_norm, cross_entropy
+from ..utils import seeded_rng
+from ..vp.task import VPSample, mean_absolute_error
+
+_NUMBER_PATTERN = re.compile(r"-?\d+\.\d+|-?\d+")
+
+
+def format_viewport(viewport: np.ndarray) -> str:
+    """Render one (roll, pitch, yaw) triple the way the paper's template does."""
+    return "({:.2f},{:.2f},{:.2f})".format(*viewport)
+
+
+def build_prompt(history: np.ndarray, prediction_steps: int) -> str:
+    """Textual prompt wrapping the historical viewports (Figure 17)."""
+    lines = " ".join(format_viewport(v) for v in history)
+    return (f"The past {len(history)} viewports were: {lines} "
+            f"What are the next {prediction_steps} viewports?\n")
+
+
+def build_answer(future: np.ndarray) -> str:
+    """Ground-truth answer text for supervision."""
+    return " ".join(format_viewport(v) for v in future)
+
+
+def parse_answer(text: str, prediction_steps: int) -> Optional[np.ndarray]:
+    """Parse generated text back into ``(prediction_steps, 3)`` coordinates.
+
+    Returns ``None`` when the answer is invalid: wrong number of values,
+    unparsable characters in place of numbers, or obviously out-of-range
+    coordinates.
+    """
+    numbers = [float(match) for match in _NUMBER_PATTERN.findall(text)]
+    needed = prediction_steps * 3
+    if len(numbers) < needed:
+        return None
+    values = np.asarray(numbers[:needed], dtype=np.float64).reshape(prediction_steps, 3)
+    if np.any(np.abs(values) > 720):
+        return None
+    return values
+
+
+@dataclass
+class PromptLearningResult:
+    """Evaluation of the prompt-learning pipeline on a test set."""
+
+    mae: float
+    valid_fraction: float
+    mean_latency_seconds: float
+    mean_inferences: float
+    per_sample_mae: List[float] = field(default_factory=list)
+
+
+class PromptLearningVP:
+    """Prompt-learning adaptation of an LLM for viewport prediction."""
+
+    name = "PromptLearning"
+
+    def __init__(self, llm: LanguageModel, prediction_steps: int, seed: int = 0) -> None:
+        self.llm = llm
+        self.prediction_steps = prediction_steps
+        self._rng = seeded_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def fine_tune(self, samples: Sequence[VPSample], iterations: int = 100,
+                  batch_size: int = 4, lr: float = 2e-3, max_len: int = 160) -> List[float]:
+        """Fine-tune the LLM on serialized (prompt, answer) pairs."""
+        if not samples:
+            raise ValueError("samples must not be empty")
+        tokenizer = self.llm.tokenizer
+        texts = [build_prompt(s.history, self.prediction_steps) + build_answer(s.future)
+                 for s in samples]
+        encoded = tokenizer.encode_batch(texts, max_len=max_len)
+        optimizer = Adam(self.llm.parameters(), lr=lr)
+        losses: List[float] = []
+        self.llm.train()
+        for _ in range(iterations):
+            rows = self._rng.integers(0, len(encoded), size=batch_size)
+            batch = encoded[rows]
+            targets = np.roll(batch, -1, axis=1)
+            targets[:, -1] = tokenizer.pad_id
+            logits = self.llm.forward_tokens(batch)
+            loss = cross_entropy(logits, targets)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.llm.parameters(), 1.0)
+            optimizer.step()
+            losses.append(float(loss.data))
+        self.llm.eval()
+        return losses
+
+    # ------------------------------------------------------------------ #
+    def predict(self, sample: VPSample, max_new_tokens: int = 120,
+                temperature: float = 0.3) -> Tuple[np.ndarray, bool, float, int]:
+        """Generate and parse one prediction.
+
+        Returns ``(prediction, valid, latency_seconds, num_inferences)``; when
+        the generated answer is invalid the fallback repeats the last observed
+        viewport (so an MAE can still be computed, as in §A.1).
+        """
+        prompt = build_prompt(sample.history, self.prediction_steps)
+        result = generate(self.llm, prompt, max_new_tokens=max_new_tokens,
+                          temperature=temperature, seed=int(self._rng.integers(0, 2**31 - 1)))
+        parsed = parse_answer(result.text, self.prediction_steps)
+        valid = parsed is not None
+        if parsed is None:
+            parsed = np.repeat(sample.history[-1][None, :], self.prediction_steps, axis=0)
+        return parsed, valid, result.elapsed_seconds, result.num_inferences
+
+    def evaluate(self, samples: Sequence[VPSample], max_new_tokens: int = 120) -> PromptLearningResult:
+        """Evaluate MAE, answer validity and generation latency over ``samples``."""
+        errors: List[float] = []
+        valid_count = 0
+        latencies: List[float] = []
+        inferences: List[int] = []
+        for sample in samples:
+            prediction, valid, latency, num_inferences = self.predict(
+                sample, max_new_tokens=max_new_tokens)
+            errors.append(mean_absolute_error(prediction, sample.future))
+            valid_count += int(valid)
+            latencies.append(latency)
+            inferences.append(num_inferences)
+        return PromptLearningResult(
+            mae=float(np.mean(errors)) if errors else float("nan"),
+            valid_fraction=valid_count / len(samples) if samples else 0.0,
+            mean_latency_seconds=float(np.mean(latencies)) if latencies else 0.0,
+            mean_inferences=float(np.mean(inferences)) if inferences else 0.0,
+            per_sample_mae=errors,
+        )

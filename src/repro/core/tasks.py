@@ -1,0 +1,60 @@
+"""Task inventory metadata (Table 1 of the paper).
+
+Purely descriptive: each entry records the input modalities, output, learning
+objective and paradigm of one use case, and points at the packages that
+implement it.  The Table 1 benchmark prints this inventory and the test suite
+checks it stays consistent with the actual implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TaskInfo:
+    """One row of Table 1."""
+
+    name: str
+    short_name: str
+    input_modalities: Tuple[str, ...]
+    output: str
+    objective: str
+    learning_paradigm: str
+    package: str
+
+
+TASKS: Dict[str, TaskInfo] = {
+    "vp": TaskInfo(
+        name="Viewport Prediction",
+        short_name="VP",
+        input_modalities=("time-series: historical viewports", "image: video content information"),
+        output="future viewports",
+        objective="minimize error between predicted and actual viewports",
+        learning_paradigm="SL",
+        package="repro.vp",
+    ),
+    "abr": TaskInfo(
+        name="Adaptive Bitrate Streaming",
+        short_name="ABR",
+        input_modalities=(
+            "time-series: historical throughputs, delay",
+            "sequence: chunk sizes at different bitrates",
+            "scalar: current buffer length",
+        ),
+        output="bitrate selected for the next video chunk",
+        objective="maximize user's Quality of Experience (QoE)",
+        learning_paradigm="RL",
+        package="repro.abr",
+    ),
+    "cjs": TaskInfo(
+        name="Cluster Job Scheduling",
+        short_name="CJS",
+        input_modalities=("graph: DAGs describing dependency and resource demands of job stages",),
+        output="job stage to run next, number of executors allocated to the stage",
+        objective="minimize job completion time",
+        learning_paradigm="RL",
+        package="repro.cjs",
+    ),
+}

@@ -1,0 +1,114 @@
+"""Autoregressive token generation for the LM-head baseline paths.
+
+NetLLM removes this machinery in favour of networking heads, but the paper's
+motivation experiments (Figure 2) quantify exactly why: token-by-token
+generation takes one transformer inference per character/sub-word and can
+produce malformed (hallucinated) answers.  This module implements greedy and
+sampling-based generation plus a latency/validity profiler used by the
+Figure 2 benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..utils import seeded_rng
+from .model import LanguageModel
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one autoregressive generation call."""
+
+    text: str
+    token_ids: List[int]
+    num_inferences: int
+    elapsed_seconds: float
+    stopped_by_eos: bool
+
+
+def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
+             temperature: float = 0.0, seed: int = 0,
+             stop_on_eos: bool = True) -> GenerationResult:
+    """Generate a completion for ``prompt`` with the LM head, token by token.
+
+    ``temperature == 0`` performs greedy decoding; otherwise tokens are
+    sampled from the temperature-scaled softmax, which is the source of the
+    answer-validity problem the paper describes.
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be >= 1")
+    tokenizer = model.tokenizer
+    rng = seeded_rng(seed)
+    context = tokenizer.encode(prompt, add_bos=True)
+    max_context = model.config.max_seq_len
+    generated: List[int] = []
+    stopped = False
+
+    start = time.perf_counter()
+    num_inferences = 0
+    for _ in range(max_new_tokens):
+        window = np.asarray((context + generated)[-max_context:], dtype=np.int64)
+        logits = model.forward_tokens(window[None, :])
+        num_inferences += 1
+        last = logits.data[0, -1, :]
+        if temperature and temperature > 0:
+            scaled = last / temperature
+            scaled = scaled - scaled.max()
+            probs = np.exp(scaled)
+            probs = probs / probs.sum()
+            next_id = int(rng.choice(len(probs), p=probs))
+        else:
+            next_id = int(np.argmax(last))
+        if stop_on_eos and next_id == tokenizer.eos_id:
+            stopped = True
+            break
+        generated.append(next_id)
+    elapsed = time.perf_counter() - start
+    text = tokenizer.decode(generated)
+    return GenerationResult(text=text, token_ids=generated, num_inferences=num_inferences,
+                            elapsed_seconds=elapsed, stopped_by_eos=stopped)
+
+
+@dataclass
+class GenerationProfile:
+    """Aggregate validity / latency statistics over many generations."""
+
+    num_answers: int = 0
+    num_valid: int = 0
+    total_seconds: float = 0.0
+    total_inferences: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.num_valid / self.num_answers if self.num_answers else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_seconds / self.num_answers if self.num_answers else 0.0
+
+    @property
+    def mean_inferences(self) -> float:
+        return self.total_inferences / self.num_answers if self.num_answers else 0.0
+
+
+def profile_generation(model: LanguageModel, prompts: List[str],
+                       validator: Callable[[str], bool],
+                       max_new_tokens: int = 64, temperature: float = 0.7,
+                       seed: int = 0) -> GenerationProfile:
+    """Run token-based generation over ``prompts`` and measure validity/latency."""
+    profile = GenerationProfile()
+    for index, prompt in enumerate(prompts):
+        result = generate(model, prompt, max_new_tokens=max_new_tokens,
+                          temperature=temperature, seed=seed + index)
+        profile.num_answers += 1
+        profile.num_valid += int(bool(validator(result.text)))
+        profile.total_seconds += result.elapsed_seconds
+        profile.total_inferences += result.num_inferences
+        profile.latencies.append(result.elapsed_seconds)
+    return profile

@@ -1,0 +1,133 @@
+"""Synthetic-corpus pre-training for the LLM substitute.
+
+The real Llama2/OPT checkpoints arrive pre-trained on trillions of tokens; we
+obviously cannot reproduce that offline.  What the NetLLM experiments need
+from pre-training, however, is narrower: a backbone whose frozen features are
+*useful* — in particular, attention that tracks smooth numeric sequences,
+copies recent context and exposes positional structure.  Those are exactly the
+"emergent abilities" (pattern mining, planning) the paper credits for the
+adaptation gains, at miniature scale.
+
+``build_corpus`` therefore mixes three kinds of documents:
+
+* smooth numeric series (random walks, sinusoids) rendered as text — teaches
+  temporal-pattern continuation;
+* key/value and list-completion templates — teaches copying and structure;
+* short natural-language sentences about networking — keeps a language flavour.
+
+``pretrain`` runs a standard next-token prediction loop.  The resulting
+weights are what the Figure 13 "pre-trained knowledge" ablation removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Adam, clip_grad_norm, cross_entropy
+from ..utils import seeded_rng
+from .model import LanguageModel
+
+_SENTENCES = [
+    "the bitrate of the next chunk should match the available bandwidth",
+    "congestion control adjusts the sending rate based on queueing delay",
+    "the scheduler allocates executors to the job stage with most work",
+    "viewport prediction estimates where the viewer will look next",
+    "rebuffering hurts quality of experience more than lower bitrate",
+    "the buffer length grows when download is faster than playback",
+    "a directed acyclic graph describes the dependency of job stages",
+    "throughput varies over time so the client must adapt quickly",
+]
+
+
+def _render_series(values: np.ndarray) -> str:
+    return " ".join(f"{v:.2f}" for v in values)
+
+
+def build_corpus(num_documents: int = 200, seed: int = 0) -> List[str]:
+    """Generate a small synthetic pre-training corpus."""
+    rng = seeded_rng(seed)
+    corpus: List[str] = []
+    for index in range(num_documents):
+        kind = index % 4
+        if kind == 0:
+            # Smooth random walk.
+            steps = rng.normal(0, 0.5, size=rng.integers(8, 16))
+            series = np.cumsum(steps) + rng.uniform(0, 10)
+            corpus.append("series: " + _render_series(series))
+        elif kind == 1:
+            # Sinusoid with noise: periodic pattern continuation.
+            t = np.arange(rng.integers(8, 16))
+            series = 5 + 3 * np.sin(0.5 * t + rng.uniform(0, np.pi)) + rng.normal(0, 0.1, t.size)
+            corpus.append("wave: " + _render_series(series))
+        elif kind == 2:
+            # Copy / key-value structure.
+            key = int(rng.integers(0, 100))
+            corpus.append(f"key={key} value={key} repeat key={key} value={key}")
+        else:
+            corpus.append(str(rng.choice(_SENTENCES)))
+    return corpus
+
+
+@dataclass
+class PretrainResult:
+    """Summary of a pre-training run."""
+
+    steps: int
+    initial_loss: float
+    final_loss: float
+    losses: List[float]
+
+    @property
+    def improved(self) -> bool:
+        return self.final_loss < self.initial_loss
+
+
+def pretrain(model: LanguageModel, corpus: Optional[List[str]] = None, steps: int = 60,
+             batch_size: int = 8, seq_len: int = 48, lr: float = 3e-3,
+             seed: int = 0) -> PretrainResult:
+    """Pre-train ``model`` on next-token prediction over the synthetic corpus.
+
+    The loop is deliberately short: the intent is a *usable* frozen backbone,
+    not a state-of-the-art language model.  Pre-training touches all weights,
+    so it must run before LoRA freezing (``model.freeze_backbone``).
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = seeded_rng(seed)
+    corpus = corpus or build_corpus(seed=seed)
+    tokenizer = model.tokenizer
+    encoded_docs = [tokenizer.encode(doc, add_bos=True, add_eos=True) for doc in corpus]
+    encoded_docs = [doc for doc in encoded_docs if len(doc) >= 4]
+    if not encoded_docs:
+        raise ValueError("corpus produced no usable documents")
+
+    optimizer = Adam(model.parameters(), lr=lr)
+    losses: List[float] = []
+    model.train()
+    for _ in range(steps):
+        batch = np.full((batch_size, seq_len), tokenizer.pad_id, dtype=np.int64)
+        for row in range(batch_size):
+            doc = encoded_docs[int(rng.integers(0, len(encoded_docs)))]
+            if len(doc) > seq_len + 1:
+                start = int(rng.integers(0, len(doc) - seq_len - 1))
+                window = doc[start:start + seq_len + 1]
+            else:
+                window = doc
+            window = np.asarray(window[:seq_len + 1], dtype=np.int64)
+            batch[row, :window.size - 1] = window[:-1]
+        # Targets are inputs shifted left by one; pad positions predict pad.
+        targets = np.roll(batch, -1, axis=1)
+        targets[:, -1] = tokenizer.pad_id
+
+        logits = model.forward_tokens(batch)
+        loss = cross_entropy(logits, targets)
+        optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        optimizer.step()
+        losses.append(float(loss.data))
+    model.eval()
+    return PretrainResult(steps=steps, initial_loss=losses[0], final_loss=losses[-1], losses=losses)

@@ -1,0 +1,54 @@
+"""Registry that builds (and optionally pre-trains) named LLM substitutes.
+
+Benchmarks and examples obtain models through :func:`load_llm` so that a
+single cache avoids repeating the synthetic pre-training step for every
+experiment in a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .config import LLMConfig, get_config
+from .model import LanguageModel
+from .pretrain import PretrainResult, pretrain
+from .tokenizer import CharTokenizer
+
+_CACHE: Dict[Tuple[str, int, bool, int], LanguageModel] = {}
+
+
+def build_llm(name: str = "llama2-7b-sim", lora_rank: int = 0, pretrained: bool = True,
+              pretrain_steps: int = 60, seed: int = 0) -> LanguageModel:
+    """Construct a fresh LLM substitute for config ``name``.
+
+    When ``pretrained`` is true the model is pre-trained on the synthetic
+    corpus; otherwise the random initialization is kept (the "no pre-trained
+    knowledge" ablation of Figure 13).
+    """
+    config = get_config(name)
+    model = LanguageModel(config, tokenizer=CharTokenizer(), lora_rank=lora_rank, seed=seed)
+    if pretrained:
+        pretrain(model, steps=pretrain_steps, seed=seed)
+    return model
+
+
+def load_llm(name: str = "llama2-7b-sim", lora_rank: int = 0, pretrained: bool = True,
+             pretrain_steps: int = 60, seed: int = 0, use_cache: bool = True) -> LanguageModel:
+    """Return a cached LLM substitute, building it on first use.
+
+    Note: callers that fine-tune the returned model share the cached instance;
+    pass ``use_cache=False`` for an isolated copy (the adaptation APIs in
+    :mod:`repro.core.api` do this).
+    """
+    key = (name, lora_rank, pretrained, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    model = build_llm(name, lora_rank=lora_rank, pretrained=pretrained,
+                      pretrain_steps=pretrain_steps, seed=seed)
+    if use_cache:
+        _CACHE[key] = model
+    return model
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

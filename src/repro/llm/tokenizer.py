@@ -1,0 +1,100 @@
+"""A small character-level tokenizer for the LLM substitute.
+
+The tokenizer is only needed by the *token-based* answer-generation paths of
+the paper: the prompt-learning baseline (Figure 2 / Figure 17) and the LM-head
+token prediction that NetLLM replaces with networking heads.  NetLLM's own
+pipeline never tokenizes task data — the multimodal encoder injects token-like
+embeddings directly.
+
+A character vocabulary keeps the implementation honest about the paper's
+"sub-word" pain point: numbers such as ``151.76`` span many tokens, so
+autoregressive generation genuinely requires many inference rounds and can
+emit malformed numeric strings, which is exactly the hallucination / latency
+problem Figure 2 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+UNK_TOKEN = "<unk>"
+
+_BASE_CHARS = (
+    "0123456789"
+    ".,-+()[]{}:;%/ "
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "_=<>\n"
+)
+
+
+class CharTokenizer:
+    """Character-level tokenizer with special tokens."""
+
+    def __init__(self, extra_chars: str = "") -> None:
+        specials = [PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN]
+        chars = list(dict.fromkeys(_BASE_CHARS + extra_chars))
+        self._id_to_token: List[str] = specials + chars
+        self._token_to_id: Dict[str, int] = {tok: i for i, tok in enumerate(self._id_to_token)}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    # ------------------------------------------------------------------ #
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        """Encode ``text`` into a list of token ids."""
+        ids = [self._token_to_id.get(ch, self.unk_id) for ch in text]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.eos_id]
+        return ids
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> str:
+        """Decode token ids back to text."""
+        pieces = []
+        for token_id in ids:
+            token_id = int(token_id)
+            if token_id < 0 or token_id >= self.vocab_size:
+                raise ValueError(f"token id {token_id} out of range")
+            token = self._id_to_token[token_id]
+            if strip_special and token in (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN):
+                continue
+            pieces.append(token)
+        return "".join(pieces)
+
+    def encode_batch(self, texts: Sequence[str], max_len: int,
+                     add_bos: bool = True, add_eos: bool = True) -> np.ndarray:
+        """Encode and right-pad a batch of strings into an int array."""
+        batch = np.full((len(texts), max_len), self.pad_id, dtype=np.int64)
+        for row, text in enumerate(texts):
+            ids = self.encode(text, add_bos=add_bos, add_eos=add_eos)[:max_len]
+            batch[row, :len(ids)] = ids
+        return batch
+
+    def tokens_per_answer(self, answer: str) -> int:
+        """Number of autoregressive steps needed to emit ``answer`` plus EOS."""
+        return len(self.encode(answer, add_eos=True))

@@ -1,0 +1,72 @@
+"""Multi-head self-attention used by the transformer backbone."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, Linear, Module
+from .lora import LoRALinear
+from .tensor import Tensor
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Return an additive causal mask of shape ``(length, length)``.
+
+    Entries above the diagonal are a large negative value so that softmax
+    assigns (numerically) zero attention to future positions.
+    """
+    mask = np.zeros((length, length), dtype=np.float64)
+    mask[np.triu_indices(length, k=1)] = -1e9
+    return mask
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product attention.
+
+    Query/key/value projections can optionally be wrapped with LoRA adapters
+    (``lora_rank > 0``); this is how DD-LRNA injects trainable low-rank
+    matrices into an otherwise frozen LLM.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, dropout: float = 0.0,
+                 lora_rank: int = 0, lora_alpha: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+
+        def make_proj() -> Module:
+            if lora_rank > 0:
+                return LoRALinear(d_model, d_model, rank=lora_rank, alpha=lora_alpha, rng=rng)
+            return Linear(d_model, d_model, rng=rng)
+
+        self.q_proj = make_proj()
+        self.k_proj = make_proj()
+        self.v_proj = make_proj()
+        self.out_proj = make_proj()
+        self.attn_dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention to ``x`` of shape ``(batch, seq, d_model)``."""
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        weights = scores.softmax(axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ v
+        merged = context.swapaxes(1, 2).reshape(batch, seq, self.d_model)
+        return self.out_proj(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).swapaxes(1, 2)

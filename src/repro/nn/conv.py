@@ -1,0 +1,155 @@
+"""1-D convolution layers used by the multimodal feature encoders.
+
+NetLLM encodes time-series and sequence data (historical throughputs, chunk
+sizes, viewport traces) with 1D-CNN feature encoders.  The convolution here is
+implemented via explicit window unfolding (an im2col-style reshape) so the
+heavy lifting stays inside a single batched matrix multiplication on the
+autodiff graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init as weight_init
+from .layers import Linear, Module, Parameter, ReLU, Sequential
+from .tensor import Tensor, concatenate, stack
+
+
+class Conv1D(Module):
+    """1-D convolution over inputs of shape ``(batch, length, channels)``.
+
+    The layout follows the time-series convention used across the repo
+    (time on axis 1, channels last).  Output length is
+    ``(length + 2 * padding - kernel_size) // stride + 1``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution hyper-parameters")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            weight_init.kaiming_uniform((kernel_size * in_channels, out_channels), rng),
+            name="weight",
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels), name="bias")
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"Conv1D expects (batch, length, channels), got shape {x.shape}")
+        batch, length, channels = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        if self.padding:
+            x = x.pad(((0, 0), (self.padding, self.padding), (0, 0)))
+            length = length + 2 * self.padding
+        out_length = (length - self.kernel_size) // self.stride + 1
+        if out_length < 1:
+            raise ValueError("input too short for the given kernel size")
+        # Unfold windows: gather kernel_size shifted slices and concatenate on
+        # the channel axis, yielding (batch, out_length, kernel_size * channels).
+        windows = []
+        for offset in range(self.kernel_size):
+            end = offset + self.stride * (out_length - 1) + 1
+            windows.append(x[:, offset:end:self.stride, :])
+        unfolded = concatenate(windows, axis=2)
+        out = unfolded @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class TemporalConvEncoder(Module):
+    """Small stack of 1-D convolutions followed by global average pooling.
+
+    This is the "1D-CNN" feature encoder from the NetLLM multimodal encoder:
+    it maps a ``(batch, length, channels)`` time series (or sequence) to a
+    fixed-size feature vector of dimension ``feature_dim``.
+    """
+
+    def __init__(self, in_channels: int, feature_dim: int, hidden_channels: int = 32,
+                 kernel_size: int = 3, num_layers: int = 2,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers = []
+        channels = in_channels
+        for _ in range(num_layers):
+            layers.append(Conv1D(channels, hidden_channels, kernel_size, padding=kernel_size // 2,
+                                 rng=rng))
+            layers.append(ReLU())
+            channels = hidden_channels
+        self.convs = Sequential(*layers)
+        self.project = Linear(hidden_channels, feature_dim, rng=rng)
+        self.feature_dim = feature_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode ``(batch, length, channels)`` into ``(batch, feature_dim)``."""
+        features = self.convs(x)
+        pooled = features.mean(axis=1)
+        return self.project(pooled)
+
+
+class PatchImageEncoder(Module):
+    """ViT-style image feature encoder (patch embedding + mean pooling).
+
+    The paper reuses a pre-trained Vision Transformer to encode video frames
+    and saliency maps.  Here we keep the same interface — image in, flat
+    feature vector out — with a patch-embedding encoder sized for synthetic
+    saliency maps.  The encoder is typically frozen, matching the paper's
+    treatment of ViT weights.
+    """
+
+    def __init__(self, image_size: int = 32, patch_size: int = 8, feature_dim: int = 64,
+                 channels: int = 1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+        rng = rng or np.random.default_rng(0)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.channels = channels
+        self.num_patches = (image_size // patch_size) ** 2
+        patch_dim = channels * patch_size * patch_size
+        self.patch_embed = Linear(patch_dim, feature_dim, rng=rng)
+        self.mixer = Linear(feature_dim, feature_dim, rng=rng)
+        self.feature_dim = feature_dim
+
+    def _to_patches(self, images: np.ndarray) -> np.ndarray:
+        """Reshape ``(batch, H, W[, C])`` images into flattened patches."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 3:
+            images = images[..., None]
+        batch, height, width, channels = images.shape
+        if height != self.image_size or width != self.image_size or channels != self.channels:
+            raise ValueError(
+                f"expected images of shape (*, {self.image_size}, {self.image_size}, "
+                f"{self.channels}), got {images.shape}"
+            )
+        p = self.patch_size
+        grid = self.image_size // p
+        patches = images.reshape(batch, grid, p, grid, p, channels)
+        patches = patches.transpose(0, 1, 3, 2, 4, 5).reshape(batch, grid * grid, p * p * channels)
+        return patches
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """Encode a batch of images into ``(batch, feature_dim)`` features."""
+        patches = Tensor(self._to_patches(images))
+        embedded = self.patch_embed(patches).gelu()
+        pooled = embedded.mean(axis=1)
+        return self.mixer(pooled)

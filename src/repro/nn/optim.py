@@ -1,0 +1,138 @@
+"""Optimizers (SGD with momentum, Adam/AdamW) and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a list of parameters to update."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = [p for p in parameters]
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_size_bytes(self) -> int:
+        """Approximate memory consumed by optimizer state (for cost profiling)."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.data = param.data - self.lr * grad
+
+    def state_size_bytes(self) -> int:
+        return int(sum(v.nbytes for v in self._velocity.values()))
+
+
+class Adam(Optimizer):
+    """Adam optimizer with optional decoupled weight decay (AdamW)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for param in self.parameters:
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            key = id(param)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data = param.data - self.lr * update
+
+    def state_size_bytes(self) -> int:
+        total = sum(m.nbytes for m in self._m.values())
+        total += sum(v.nbytes for v in self._v.values())
+        return int(total)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay with linear warmup."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, total_steps: int,
+                 warmup_steps: int = 0, min_lr: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must be within [0, total_steps]")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def current_lr(self) -> float:
+        if self.warmup_steps and self._step < self.warmup_steps:
+            return self.base_lr * (self._step + 1) / self.warmup_steps
+        progress = (self._step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, max(0.0, progress))
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def step(self) -> float:
+        lr = self.current_lr()
+        self.optimizer.lr = lr
+        self._step += 1
+        return lr

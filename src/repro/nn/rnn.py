@@ -1,0 +1,66 @@
+"""Recurrent layers (LSTM) used by the TRACK viewport-prediction baseline."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init as weight_init
+from .layers import Module, Parameter
+from .tensor import Tensor, concatenate, stack
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with the standard gate parameterization."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 4 * hidden_size
+        self.w_ih = Parameter(weight_init.xavier_uniform((input_size, gate_size), rng), name="w_ih")
+        self.w_hh = Parameter(weight_init.xavier_uniform((hidden_size, gate_size), rng), name="w_hh")
+        self.bias = Parameter(np.zeros(gate_size), name="bias")
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """Advance one step; ``x`` is ``(batch, input_size)``."""
+        h_prev, c_prev = state
+        gates = x @ self.w_ih + h_prev @ self.w_hh + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs:3 * hs].tanh()
+        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
+        c_next = f_gate * c_prev + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over ``(batch, seq, input_size)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor,
+                state: Optional[Tuple[Tensor, Tensor]] = None) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Return the full output sequence and the final (h, c) state."""
+        batch, seq, _ = x.shape
+        if state is None:
+            state = self.cell.initial_state(batch)
+        outputs = []
+        h, c = state
+        for t in range(seq):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=1), (h, c)

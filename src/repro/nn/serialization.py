@@ -1,0 +1,51 @@
+"""Checkpointing helpers: save/load module state dicts as ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .layers import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state_dict(module: Module, path: PathLike, metadata: Optional[Dict] = None) -> None:
+    """Serialize a module's parameters (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    arrays = {key.replace(".", "__"): value for key, value in state.items()}
+    if metadata is not None:
+        arrays["__metadata__"] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_state_dict(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict]]:
+    """Load a state dict saved by :func:`save_state_dict`.
+
+    Returns ``(state, metadata)`` where metadata is ``None`` when absent.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = None
+        state: Dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+                continue
+            state[key.replace("__", ".")] = archive[key]
+    return state, metadata
+
+
+def load_into(module: Module, path: PathLike, strict: bool = True) -> Optional[Dict]:
+    """Load parameters from ``path`` directly into ``module``; return metadata."""
+    state, metadata = load_state_dict(path)
+    module.load_state_dict(state, strict=strict)
+    return metadata

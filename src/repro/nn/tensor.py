@@ -1,0 +1,591 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module provides the :class:`Tensor` class, the foundation of the
+``repro.nn`` substrate.  It implements a micrograd-style dynamic computation
+graph: every operation records a backward closure, and :meth:`Tensor.backward`
+walks the graph in reverse topological order accumulating gradients.
+
+The implementation is intentionally dependency-free (numpy only) because the
+reproduction environment does not provide PyTorch.  It supports the operations
+needed by the NetLLM reproduction: broadcasting arithmetic, matrix
+multiplication, reductions, reshaping, indexing, concatenation, common
+activations and normalization primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records a computation graph for autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Tuple["Tensor", ...] = (),
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = _prev
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph helpers
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _ensure(other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate gradients from this tensor through the graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for child in node._prev:
+                if id(child) not in visited:
+                    stack.append((child, False))
+
+        self.grad = grad.copy() if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            node._backward()
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (self._ensure(other) * -1.0)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return self * self._ensure(other).pow(-1.0)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self + other
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self * other
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other) - self
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other) / self
+
+    def pow(self, exponent: float) -> "Tensor":
+        out = Tensor(
+            np.power(self.data, exponent),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self.pow(exponent)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _prev=(self, other),
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                grad_a = out.grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_a, self.shape))
+            if other.requires_grad:
+                grad_b = np.swapaxes(self.data, -1, -2) @ out.grad
+                other._accumulate(_unbroadcast(grad_b, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * out_data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * (1.0 - out_data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            sech2 = 1.0 - tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            self._accumulate(out.grad * grad)
+
+        out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * sign)
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out = Tensor(np.clip(self.data, low, high), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = out.grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient equally among ties.
+            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad.reshape(original))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad, _prev=(self,))
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(self.data[index], requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad; ``pad_width`` follows :func:`numpy.pad` convention."""
+        out = Tensor(np.pad(self.data, pad_width), requires_grad=self.requires_grad, _prev=(self,))
+        slices = tuple(
+            slice(before, before + dim) for (before, _), dim in zip(pad_width, self.shape)
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate(out.grad[slices])
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Softmax family (kept on Tensor for numerical stability)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            dot = (out.grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (out.grad - dot))
+
+        out._backward = _backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        softmax = np.exp(out_data)
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            sums = out.grad.sum(axis=axis, keepdims=True)
+            self._accumulate(out.grad - softmax * sums)
+
+        out._backward = _backward
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Free functions operating on tensors
+# ---------------------------------------------------------------------- #
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors))
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            index = [slice(None)] * out.grad.ndim
+            index[axis] = slice(start, end)
+            tensor._accumulate(out.grad[tuple(index)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors))
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(grad, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select between two tensors based on a boolean mask."""
+    a = Tensor._ensure(a)
+    b = Tensor._ensure(b)
+    cond = np.asarray(condition, dtype=bool)
+    out = Tensor(
+        np.where(cond, a.data, b.data),
+        requires_grad=a.requires_grad or b.requires_grad,
+        _prev=(a, b),
+    )
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * (~cond), b.shape))
+
+    out._backward = _backward
+    return out
+
+
+def no_grad_copy(tensor: Tensor) -> Tensor:
+    """Deep copy of a tensor's data, detached from the graph."""
+    return Tensor(tensor.data.copy(), requires_grad=False)

@@ -1,0 +1,99 @@
+"""Transformer building blocks (pre-norm decoder blocks, GPT-style)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .attention import MultiHeadAttention, causal_mask
+from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
+from .lora import LoRALinear
+from .tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with optional LoRA adapters."""
+
+    def __init__(self, d_model: int, d_hidden: int, dropout: float = 0.0,
+                 lora_rank: int = 0, lora_alpha: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+
+        def make(in_f: int, out_f: int) -> Module:
+            if lora_rank > 0:
+                return LoRALinear(in_f, out_f, rank=lora_rank, alpha=lora_alpha, rng=rng)
+            return Linear(in_f, out_f, rng=rng)
+
+        self.fc1 = make(d_model, d_hidden)
+        self.fc2 = make(d_hidden, d_model)
+        self.activation = GELU()
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(self.activation(self.fc1(x))))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer decoder block: LN -> attention -> LN -> MLP."""
+
+    def __init__(self, d_model: int, num_heads: int, d_hidden: Optional[int] = None,
+                 dropout: float = 0.0, lora_rank: int = 0, lora_alpha: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        d_hidden = d_hidden or 4 * d_model
+        self.norm1 = LayerNorm(d_model)
+        self.attention = MultiHeadAttention(d_model, num_heads, dropout=dropout,
+                                            lora_rank=lora_rank, lora_alpha=lora_alpha, rng=rng)
+        self.norm2 = LayerNorm(d_model)
+        self.mlp = FeedForward(d_model, d_hidden, dropout=dropout,
+                               lora_rank=lora_rank, lora_alpha=lora_alpha, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attention(self.norm1(x), mask=mask)
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class TransformerBackbone(Module):
+    """Stack of transformer blocks with learned positional embeddings.
+
+    This is the shared "body" of the LLM substitute: it consumes a sequence of
+    *embeddings* (either token embeddings or the token-like embeddings emitted
+    by the NetLLM multimodal encoder) and produces contextualized output
+    features of the same dimension.
+    """
+
+    def __init__(self, d_model: int, num_layers: int, num_heads: int,
+                 max_seq_len: int = 256, d_hidden: Optional[int] = None,
+                 dropout: float = 0.0, lora_rank: int = 0, lora_alpha: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.max_seq_len = max_seq_len
+        from .layers import Parameter
+        from . import init as weight_init
+
+        self.position_embedding = Parameter(
+            weight_init.normal((max_seq_len, d_model), rng), name="position_embedding")
+        self.blocks = ModuleList([
+            TransformerBlock(d_model, num_heads, d_hidden=d_hidden, dropout=dropout,
+                             lora_rank=lora_rank, lora_alpha=lora_alpha, rng=rng)
+            for _ in range(num_layers)
+        ])
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(self, embeddings: Tensor, causal: bool = True) -> Tensor:
+        """Run the backbone over ``(batch, seq, d_model)`` embeddings."""
+        batch, seq, d_model = embeddings.shape
+        if d_model != self.d_model:
+            raise ValueError(f"expected embedding dim {self.d_model}, got {d_model}")
+        if seq > self.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds maximum {self.max_seq_len}")
+        x = embeddings + self.position_embedding[np.arange(seq)]
+        mask = causal_mask(seq) if causal else None
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)

@@ -1,0 +1,11 @@
+"""Shared utilities: seeding, running statistics, CDF helpers, timers."""
+
+from .rng import seeded_rng, spawn_rngs
+from .stats import RunningStats, empirical_cdf, normalize_min_max, percentile, summarize
+from .timing import Timer
+
+__all__ = [
+    "seeded_rng", "spawn_rngs",
+    "RunningStats", "empirical_cdf", "normalize_min_max", "percentile", "summarize",
+    "Timer",
+]

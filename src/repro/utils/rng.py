@@ -1,0 +1,35 @@
+"""Deterministic random-number generation helpers.
+
+Every stochastic component in the repository (dataset generators, simulators,
+weight initialization, training loops) accepts either a seed or a
+``numpy.random.Generator``.  These helpers centralize how seeds become
+generators so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def seeded_rng(seed: SeedLike = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged, so functions can
+    accept either style transparently.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = seeded_rng(seed)
+    seeds = base.integers(0, 2**31 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,94 @@
+"""Statistics helpers used by the evaluation harness (averages, CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RunningStats:
+    """Streaming mean / variance / extrema (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+        }
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cdf)`` for plotting-style CDF curves."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    cdf = np.arange(1, arr.size + 1) / arr.size
+    return arr, cdf
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) of ``values``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+def normalize_min_max(values: Dict[str, float]) -> Dict[str, float]:
+    """Min-max normalize a mapping of label -> value (as in Figure 12)."""
+    if not values:
+        return {}
+    arr = np.asarray(list(values.values()), dtype=np.float64)
+    low, high = float(arr.min()), float(arr.max())
+    span = high - low
+    if span == 0:
+        return {key: 0.5 for key in values}
+    return {key: (value - low) / span for key, value in values.items()}
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / p50 / p90 / min / max summary of a sequence."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers for adaptation-cost experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """Accumulating timer with named segments.
+
+    Used by the DD-LRNA cost profiler to split training time into
+    "experience collection" and "parameter update" segments (Figure 3).
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._starts: Dict[str, float] = {}
+
+    def start(self, name: str) -> None:
+        self._starts[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        if name not in self._starts:
+            raise KeyError(f"timer segment {name!r} was never started")
+        elapsed = time.perf_counter() - self._starts.pop(name)
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        self.start("__default__")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop("__default__")
+
+    @property
+    def elapsed(self) -> float:
+        return self._totals.get("__default__", 0.0)
+
+    def total(self, name: Optional[str] = None) -> float:
+        if name is None:
+            return sum(self._totals.values())
+        return self._totals.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)

@@ -1,0 +1,27 @@
+"""``repro.vp`` — viewport prediction task (datasets, baselines, metric)."""
+
+from .task import (
+    SAMPLE_RATE_HZ,
+    VP_SETTINGS,
+    VPSample,
+    VPSetting,
+    evaluate_predictor,
+    mean_absolute_error,
+)
+from .dataset import (
+    DATASET_SPECS,
+    SALIENCY_SIZE,
+    VideoContent,
+    ViewportDataset,
+    ViewportTrace,
+    make_vp_data,
+)
+from .baselines import LinearRegressionPredictor, TrackPredictor, VelocityPredictor, train_track
+
+__all__ = [
+    "SAMPLE_RATE_HZ", "VP_SETTINGS", "VPSample", "VPSetting",
+    "evaluate_predictor", "mean_absolute_error",
+    "DATASET_SPECS", "SALIENCY_SIZE", "VideoContent", "ViewportDataset", "ViewportTrace",
+    "make_vp_data",
+    "LinearRegressionPredictor", "TrackPredictor", "VelocityPredictor", "train_track",
+]

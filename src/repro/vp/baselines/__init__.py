@@ -1,0 +1,12 @@
+"""Baseline viewport predictors: linear regression, velocity, TRACK."""
+
+from .linear_regression import LinearRegressionPredictor
+from .velocity import VelocityPredictor
+from .track import TrackPredictor, train_track
+
+__all__ = [
+    "LinearRegressionPredictor",
+    "VelocityPredictor",
+    "TrackPredictor",
+    "train_track",
+]

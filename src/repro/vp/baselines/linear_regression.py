@@ -1,0 +1,34 @@
+"""Linear-regression viewport predictor (the "LR" baseline, Flare-style).
+
+The predictor fits, independently for each angle, a least-squares line
+``angle = a * t + b`` over the history window and extrapolates it over the
+prediction horizon.  It is a rule-based method: there is nothing to train.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..task import VPSample
+
+
+class LinearRegressionPredictor:
+    """Extrapolate each angle with an ordinary least-squares line."""
+
+    name = "LR"
+
+    def __init__(self, prediction_steps: int) -> None:
+        if prediction_steps < 1:
+            raise ValueError("prediction_steps must be >= 1")
+        self.prediction_steps = prediction_steps
+
+    def predict(self, sample: VPSample) -> np.ndarray:
+        history = sample.history
+        steps = history.shape[0]
+        t = np.arange(steps, dtype=np.float64)
+        future_t = np.arange(steps, steps + self.prediction_steps, dtype=np.float64)
+        design = np.column_stack([t, np.ones_like(t)])
+        # Least squares for all three angles at once: (steps, 2) x (2, 3).
+        coeffs, *_ = np.linalg.lstsq(design, history, rcond=None)
+        future_design = np.column_stack([future_t, np.ones_like(future_t)])
+        return future_design @ coeffs

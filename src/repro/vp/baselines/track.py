@@ -1,0 +1,137 @@
+"""TRACK — the learning-based viewport-prediction baseline.
+
+TRACK (Rondón et al., TPAMI 2022) is an LSTM-based head-motion predictor that
+fuses the viewer's positional history with video saliency.  The paper
+re-implements it in PyTorch; here it is re-implemented at small scale on the
+``repro.nn`` substrate with the same structure:
+
+* an LSTM encodes the normalized history of (roll, pitch, yaw) deltas,
+* a small saliency encoder embeds the content information,
+* a fully connected decoder produces the residual motion over the prediction
+  horizon, which is added to the last observed viewport.
+
+Predicting *residuals* relative to the last position (rather than absolute
+angles) is what the original model does and is important for stable training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...nn import LSTM, Adam, Linear, Module, Sequential, ReLU, Tensor, clip_grad_norm
+from ...utils import seeded_rng
+from ..dataset import SALIENCY_SIZE
+from ..task import VPSample
+
+#: Scale (degrees) used to normalize viewport angles before the network.
+ANGLE_SCALE = 60.0
+
+
+class TrackModel(Module):
+    """LSTM + saliency fusion network predicting future viewport residuals."""
+
+    def __init__(self, prediction_steps: int, hidden_size: int = 32,
+                 saliency_features: int = 8, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.prediction_steps = prediction_steps
+        self.hidden_size = hidden_size
+        self.lstm = LSTM(3, hidden_size, rng=rng)
+        self.saliency_encoder = Sequential(
+            Linear(SALIENCY_SIZE * SALIENCY_SIZE, saliency_features, rng=rng),
+            ReLU(),
+        )
+        self.decoder = Sequential(
+            Linear(hidden_size + saliency_features, 64, rng=rng),
+            ReLU(),
+            Linear(64, prediction_steps * 3, rng=rng),
+        )
+
+    def forward(self, history: Tensor, saliency: Tensor) -> Tensor:
+        """Predict normalized residuals of shape ``(batch, prediction_steps, 3)``."""
+        _, (hidden, _) = self.lstm(history)
+        saliency_features = self.saliency_encoder(saliency)
+        from ...nn import concatenate
+
+        fused = concatenate([hidden, saliency_features], axis=1)
+        flat = self.decoder(fused)
+        batch = history.shape[0]
+        return flat.reshape(batch, self.prediction_steps, 3)
+
+
+def _prepare_batch(samples: Sequence[VPSample]) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert samples to normalized network inputs and residual targets."""
+    histories = np.stack([s.history for s in samples])
+    futures = np.stack([s.future for s in samples])
+    last = histories[:, -1:, :]
+    history_residuals = (histories - last) / ANGLE_SCALE
+    target_residuals = (futures - last) / ANGLE_SCALE
+    saliencies = np.stack([
+        s.saliency if s.saliency is not None else np.zeros((SALIENCY_SIZE, SALIENCY_SIZE))
+        for s in samples
+    ]).reshape(len(samples), -1)
+    return history_residuals, saliencies, target_residuals, last
+
+
+@dataclass
+class TrackTrainResult:
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class TrackPredictor:
+    """Inference wrapper exposing the common ``predict(sample)`` interface."""
+
+    name = "TRACK"
+
+    def __init__(self, model: TrackModel) -> None:
+        self.model = model
+
+    def predict(self, sample: VPSample) -> np.ndarray:
+        history, saliency, _, last = _prepare_batch([sample])
+        self.model.eval()
+        residual = self.model(Tensor(history), Tensor(saliency))
+        return residual.data[0] * ANGLE_SCALE + last[0]
+
+    def predict_batch(self, samples: Sequence[VPSample]) -> np.ndarray:
+        history, saliency, _, last = _prepare_batch(samples)
+        self.model.eval()
+        residual = self.model(Tensor(history), Tensor(saliency))
+        return residual.data * ANGLE_SCALE + last
+
+
+def train_track(train_samples: Sequence[VPSample], prediction_steps: int,
+                epochs: int = 8, batch_size: int = 32, lr: float = 3e-3,
+                hidden_size: int = 32, seed: int = 0,
+                model: Optional[TrackModel] = None) -> tuple[TrackPredictor, TrackTrainResult]:
+    """Train a TRACK model with mean-squared-error supervision."""
+    if not train_samples:
+        raise ValueError("train_samples must not be empty")
+    rng = seeded_rng(seed)
+    model = model or TrackModel(prediction_steps, hidden_size=hidden_size, seed=seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    losses: List[float] = []
+    indices = np.arange(len(train_samples))
+    model.train()
+    for _ in range(epochs):
+        rng.shuffle(indices)
+        for start in range(0, len(indices), batch_size):
+            batch_idx = indices[start:start + batch_size]
+            batch = [train_samples[i] for i in batch_idx]
+            history, saliency, target, _ = _prepare_batch(batch)
+            prediction = model(Tensor(history), Tensor(saliency))
+            diff = prediction - Tensor(target)
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            losses.append(float(loss.data))
+    model.eval()
+    return TrackPredictor(model), TrackTrainResult(losses=losses)

@@ -1,0 +1,38 @@
+"""Velocity-based viewport predictor (the "Velocity" baseline, LiveObj-style).
+
+The predictor estimates the viewer's angular velocity from the last few
+history samples and extrapolates the latest position with that constant
+velocity.  Like LR it is rule-based and training-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..task import VPSample
+
+
+class VelocityPredictor:
+    """Constant-velocity extrapolation of the last observed motion."""
+
+    name = "Velocity"
+
+    def __init__(self, prediction_steps: int, velocity_window: int = 3) -> None:
+        if prediction_steps < 1:
+            raise ValueError("prediction_steps must be >= 1")
+        if velocity_window < 1:
+            raise ValueError("velocity_window must be >= 1")
+        self.prediction_steps = prediction_steps
+        self.velocity_window = velocity_window
+
+    def predict(self, sample: VPSample) -> np.ndarray:
+        history = sample.history
+        window = min(self.velocity_window, history.shape[0] - 1)
+        if window < 1:
+            velocity = np.zeros(3)
+        else:
+            diffs = np.diff(history[-(window + 1):], axis=0)
+            velocity = diffs.mean(axis=0)
+        last = history[-1]
+        horizon = np.arange(1, self.prediction_steps + 1, dtype=np.float64)[:, None]
+        return last[None, :] + horizon * velocity[None, :]

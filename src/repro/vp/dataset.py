@@ -1,0 +1,243 @@
+"""Synthetic viewport-trace datasets standing in for Jin2022 and Wu2017.
+
+The paper uses two public head-movement datasets that are not available in
+this offline environment, so we generate traces with the statistical
+properties viewport predictors exploit:
+
+* head orientation moves smoothly (momentum / inertia),
+* motion is pulled toward a small set of video-specific *attention points*
+  (salient content), producing mean reversion that simple linear or
+  velocity extrapolation over-shoots,
+* occasional fast saccades relocate attention to a different point,
+* a per-video saliency map marks the attention points, providing the image
+  modality that TRACK and the NetLLM multimodal encoder consume.
+
+Two named generators mimic the datasets of Table 2: ``jin2022`` (shorter
+60-second videos, moderately dynamic viewers) and ``wu2017`` (longer videos,
+more dynamic head motion), so the "unseen dataset" generalization settings
+change the data distribution in the same direction as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils import seeded_rng
+from .task import SAMPLE_RATE_HZ, VPSample, VPSetting
+
+#: Size (pixels per side) of the synthetic saliency maps.
+SALIENCY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ViewportDatasetSpec:
+    """Generation parameters of one synthetic viewport dataset."""
+
+    name: str
+    num_videos: int
+    num_viewers: int
+    video_seconds: float
+    #: pull strength toward the current attention point (per step)
+    attraction: float
+    #: probability per step of a saccade to a new attention point
+    saccade_prob: float
+    #: standard deviation of per-step angular noise (degrees)
+    noise_std: float
+    #: momentum coefficient of angular velocity
+    momentum: float
+    #: number of salient attention points per video
+    num_attention_points: int
+
+
+#: Dataset specs tuned so that wu2017 is more dynamic than jin2022 (harder).
+DATASET_SPECS: Dict[str, ViewportDatasetSpec] = {
+    "jin2022": ViewportDatasetSpec(
+        name="jin2022", num_videos=8, num_viewers=12, video_seconds=60.0,
+        attraction=0.055, saccade_prob=0.012, noise_std=0.9, momentum=0.82,
+        num_attention_points=3,
+    ),
+    "wu2017": ViewportDatasetSpec(
+        name="wu2017", num_videos=4, num_viewers=9, video_seconds=120.0,
+        attraction=0.045, saccade_prob=0.022, noise_std=1.4, momentum=0.86,
+        num_attention_points=4,
+    ),
+}
+
+
+@dataclass
+class ViewportTrace:
+    """One viewer watching one video: a time series of (roll, pitch, yaw)."""
+
+    viewports: np.ndarray  # (T, 3) degrees
+    video_id: int
+    viewer_id: int
+    dataset: str
+
+    def __len__(self) -> int:
+        return self.viewports.shape[0]
+
+
+@dataclass
+class VideoContent:
+    """Synthetic content description of one video: attention points + saliency."""
+
+    video_id: int
+    attention_points: np.ndarray  # (K, 2): (pitch, yaw) degrees of salient regions
+    saliency: np.ndarray  # (SALIENCY_SIZE, SALIENCY_SIZE)
+
+
+def _make_saliency(attention_points: np.ndarray) -> np.ndarray:
+    """Render attention points into a soft Gaussian-blob saliency map."""
+    grid = np.zeros((SALIENCY_SIZE, SALIENCY_SIZE), dtype=np.float64)
+    ys, xs = np.mgrid[0:SALIENCY_SIZE, 0:SALIENCY_SIZE]
+    for pitch, yaw in attention_points:
+        # Map pitch [-45, 45] -> rows, yaw [0, 360) -> columns.
+        row = (pitch + 45.0) / 90.0 * (SALIENCY_SIZE - 1)
+        col = (yaw % 360.0) / 360.0 * (SALIENCY_SIZE - 1)
+        grid += np.exp(-(((ys - row) ** 2) + ((xs - col) ** 2)) / (2 * 3.0 ** 2))
+    peak = grid.max()
+    return grid / peak if peak > 0 else grid
+
+
+class ViewportDataset:
+    """Synthetic viewport dataset with train/validation/test splits by viewer.
+
+    Parameters
+    ----------
+    name:
+        ``"jin2022"`` or ``"wu2017"``.
+    seed:
+        Seed controlling video content, viewer behaviour and splits.
+    num_videos / num_viewers / video_seconds:
+        Optional overrides of the spec (tests use small values for speed).
+    """
+
+    def __init__(self, name: str = "jin2022", seed: int = 0,
+                 num_videos: Optional[int] = None, num_viewers: Optional[int] = None,
+                 video_seconds: Optional[float] = None) -> None:
+        if name not in DATASET_SPECS:
+            raise KeyError(f"unknown viewport dataset {name!r}")
+        spec = DATASET_SPECS[name]
+        self.spec = spec
+        self.name = name
+        self.num_videos = num_videos or spec.num_videos
+        self.num_viewers = num_viewers or spec.num_viewers
+        self.video_seconds = video_seconds or spec.video_seconds
+        self._rng = seeded_rng(seed)
+        self.videos: List[VideoContent] = [self._make_video(v) for v in range(self.num_videos)]
+        self.traces: List[ViewportTrace] = []
+        for video in self.videos:
+            for viewer in range(self.num_viewers):
+                self.traces.append(self._simulate_trace(video, viewer))
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def _make_video(self, video_id: int) -> VideoContent:
+        points = np.column_stack([
+            self._rng.uniform(-30, 30, size=self.spec.num_attention_points),   # pitch
+            self._rng.uniform(0, 360, size=self.spec.num_attention_points),    # yaw
+        ])
+        return VideoContent(video_id=video_id, attention_points=points,
+                            saliency=_make_saliency(points))
+
+    def _simulate_trace(self, video: VideoContent, viewer_id: int) -> ViewportTrace:
+        spec = self.spec
+        steps = int(self.video_seconds * SAMPLE_RATE_HZ)
+        rng = self._rng
+        # Per-viewer idiosyncrasy: slightly different momentum / noise levels.
+        momentum = np.clip(spec.momentum + rng.normal(0, 0.03), 0.5, 0.95)
+        noise_std = spec.noise_std * rng.uniform(0.8, 1.2)
+
+        target_idx = int(rng.integers(0, len(video.attention_points)))
+        position = np.array([
+            rng.normal(0, 2.0),                                   # roll
+            video.attention_points[target_idx, 0] + rng.normal(0, 5.0),  # pitch
+            video.attention_points[target_idx, 1] + rng.normal(0, 10.0),  # yaw
+        ])
+        velocity = np.zeros(3)
+        out = np.zeros((steps, 3))
+        for t in range(steps):
+            if rng.random() < spec.saccade_prob:
+                target_idx = int(rng.integers(0, len(video.attention_points)))
+            target = np.array([
+                0.0,
+                video.attention_points[target_idx, 0],
+                video.attention_points[target_idx, 1],
+            ])
+            pull = spec.attraction * (target - position)
+            velocity = momentum * velocity + pull + rng.normal(0, noise_std, size=3) * np.array([0.3, 0.6, 1.0])
+            position = position + velocity
+            position[0] = np.clip(position[0], -20, 20)
+            position[1] = np.clip(position[1], -45, 45)
+            out[t] = position
+        return ViewportTrace(viewports=out, video_id=video.video_id,
+                             viewer_id=viewer_id, dataset=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Splits and windowing
+    # ------------------------------------------------------------------ #
+    def split_traces(self, fractions: Tuple[float, float, float] = (0.5, 0.25, 0.25),
+                     seed: int = 0) -> Tuple[List[ViewportTrace], List[ViewportTrace], List[ViewportTrace]]:
+        """Split traces by viewer into train/validation/test, as in §A.4."""
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError("split fractions must sum to 1")
+        rng = seeded_rng(seed)
+        viewers = np.arange(self.num_viewers)
+        rng.shuffle(viewers)
+        n_train = max(1, int(round(fractions[0] * self.num_viewers)))
+        n_val = max(1, int(round(fractions[1] * self.num_viewers)))
+        train_viewers = set(viewers[:n_train].tolist())
+        val_viewers = set(viewers[n_train:n_train + n_val].tolist())
+
+        def bucket(trace: ViewportTrace) -> str:
+            if trace.viewer_id in train_viewers:
+                return "train"
+            if trace.viewer_id in val_viewers:
+                return "val"
+            return "test"
+
+        buckets = {"train": [], "val": [], "test": []}
+        for trace in self.traces:
+            buckets[bucket(trace)].append(trace)
+        return buckets["train"], buckets["val"], buckets["test"]
+
+    def windows_from_traces(self, traces: Sequence[ViewportTrace], setting: VPSetting,
+                            stride_steps: Optional[int] = None,
+                            max_samples: Optional[int] = None,
+                            include_saliency: bool = True,
+                            seed: int = 0) -> List[VPSample]:
+        """Slice traces into (history, future) supervised samples."""
+        hw = setting.history_steps
+        pw = setting.prediction_steps
+        stride = stride_steps or pw
+        samples: List[VPSample] = []
+        video_by_id = {video.video_id: video for video in self.videos}
+        for trace in traces:
+            total = len(trace)
+            for start in range(0, total - hw - pw + 1, stride):
+                history = trace.viewports[start:start + hw]
+                future = trace.viewports[start + hw:start + hw + pw]
+                saliency = video_by_id[trace.video_id].saliency if include_saliency else None
+                samples.append(VPSample(history=history, future=future, saliency=saliency,
+                                        video_id=trace.video_id, viewer_id=trace.viewer_id))
+        if max_samples is not None and len(samples) > max_samples:
+            rng = seeded_rng(seed)
+            indices = rng.choice(len(samples), size=max_samples, replace=False)
+            samples = [samples[i] for i in sorted(indices)]
+        return samples
+
+
+def make_vp_data(setting: VPSetting, seed: int = 0, num_videos: Optional[int] = None,
+                 num_viewers: Optional[int] = None, video_seconds: Optional[float] = None,
+                 max_samples: Optional[int] = None) -> Tuple[List[VPSample], List[VPSample]]:
+    """Convenience helper: build a dataset for ``setting`` and return (train, test)."""
+    dataset = ViewportDataset(setting.dataset, seed=seed, num_videos=num_videos,
+                              num_viewers=num_viewers, video_seconds=video_seconds)
+    train_traces, _, test_traces = dataset.split_traces(seed=seed)
+    train = dataset.windows_from_traces(train_traces, setting, max_samples=max_samples, seed=seed)
+    test = dataset.windows_from_traces(test_traces, setting, max_samples=max_samples, seed=seed + 1)
+    return train, test

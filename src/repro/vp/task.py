@@ -1,0 +1,108 @@
+"""Task definition, settings and metric for viewport prediction (VP).
+
+VP predicts the viewer's future head orientation (roll, pitch, yaw in
+degrees) from the recent history of orientations and, optionally, a saliency
+map of the video content.  The evaluation metric is mean absolute error (MAE)
+in degrees, averaged over the prediction horizon and the three angles —
+exactly the formula of the paper's §A.6.
+
+Settings mirror Table 2: the default setting trains and tests on the
+Jin2022-like dataset with a 2-second history window and a 4-second prediction
+window; the unseen settings change the prediction setup and/or switch to the
+Wu2017-like dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Viewport sampling rate (Hz) used throughout the paper's VP experiments.
+SAMPLE_RATE_HZ = 5
+
+
+@dataclass(frozen=True)
+class VPSetting:
+    """One row of Table 2: dataset choice plus history/prediction windows."""
+
+    name: str
+    dataset: str
+    history_seconds: float
+    prediction_seconds: float
+
+    @property
+    def history_steps(self) -> int:
+        return int(round(self.history_seconds * SAMPLE_RATE_HZ))
+
+    @property
+    def prediction_steps(self) -> int:
+        return int(round(self.prediction_seconds * SAMPLE_RATE_HZ))
+
+
+#: Table 2 of the paper.
+VP_SETTINGS: Dict[str, VPSetting] = {
+    "default_train": VPSetting("default_train", "jin2022", 2.0, 4.0),
+    "default_test": VPSetting("default_test", "jin2022", 2.0, 4.0),
+    "unseen_setting1": VPSetting("unseen_setting1", "jin2022", 4.0, 6.0),
+    "unseen_setting2": VPSetting("unseen_setting2", "wu2017", 2.0, 4.0),
+    "unseen_setting3": VPSetting("unseen_setting3", "wu2017", 4.0, 6.0),
+}
+
+
+@dataclass
+class VPSample:
+    """A single supervised sample for viewport prediction.
+
+    Attributes
+    ----------
+    history:
+        ``(history_steps, 3)`` array of past (roll, pitch, yaw) in degrees.
+    future:
+        ``(prediction_steps, 3)`` array of ground-truth future viewports.
+    saliency:
+        ``(H, W)`` saliency map of the current video segment (content
+        information), or ``None`` when the dataset omits video content.
+    video_id / viewer_id:
+        provenance of the sample, useful for per-video analysis.
+    """
+
+    history: np.ndarray
+    future: np.ndarray
+    saliency: Optional[np.ndarray] = None
+    video_id: int = 0
+    viewer_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.history = np.asarray(self.history, dtype=np.float64)
+        self.future = np.asarray(self.future, dtype=np.float64)
+        if self.history.ndim != 2 or self.history.shape[1] != 3:
+            raise ValueError(f"history must be (steps, 3), got {self.history.shape}")
+        if self.future.ndim != 2 or self.future.shape[1] != 3:
+            raise ValueError(f"future must be (steps, 3), got {self.future.shape}")
+
+
+def mean_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """MAE in degrees averaged over horizon and the three angles (§A.6)."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def evaluate_predictor(predictor, samples: Sequence[VPSample]) -> Dict[str, object]:
+    """Evaluate any object with a ``predict(sample) -> array`` method.
+
+    Returns the average MAE plus the per-sample MAE list (for CDF plots,
+    Figure 10b).
+    """
+    errors: List[float] = []
+    for sample in samples:
+        prediction = predictor.predict(sample)
+        errors.append(mean_absolute_error(prediction, sample.future))
+    return {
+        "mae": float(np.mean(errors)) if errors else float("nan"),
+        "per_sample_mae": errors,
+    }

@@ -1,0 +1,273 @@
+"""Tests for the ABR substrate: manifests, traces, simulator, QoE, policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abr import (
+    ABR_SETTINGS,
+    ABREnvironment,
+    ABRObservation,
+    BBAPolicy,
+    BandwidthTrace,
+    EmulationConfig,
+    GenetPolicy,
+    HISTORY_LENGTH,
+    MPCPolicy,
+    OracleMPCPolicy,
+    SimulatorConfig,
+    StreamingSession,
+    VideoManifest,
+    build_setting,
+    cellular_like_traces,
+    chunk_reward,
+    envivio_dash3,
+    fcc_like_traces,
+    get_traces,
+    get_video,
+    normalize_observation,
+    observe,
+    rollout,
+    run_realworld_test,
+    simulate_session,
+    synth_traces,
+    synth_video,
+    train_genet,
+)
+
+
+class TestVideo:
+    def test_envivio_ladder_matches_pensieve(self):
+        video = envivio_dash3()
+        assert video.bitrates_kbps == (300, 750, 1200, 1850, 2850, 4300)
+        assert video.num_chunks == 48
+        assert video.chunk_seconds == 4.0
+
+    def test_synth_video_has_larger_bitrates(self):
+        assert max(synth_video().bitrates_kbps) > max(envivio_dash3().bitrates_kbps)
+
+    def test_chunk_sizes_scale_with_bitrate(self):
+        video = envivio_dash3()
+        sizes = video.chunk_sizes_bytes
+        assert np.all(np.diff(sizes.mean(axis=0)) > 0)
+
+    def test_get_video_lookup(self):
+        assert get_video("envivio-dash3").name == "envivio-dash3"
+        assert get_video("synthvideo").name == "synth-video"
+        with pytest.raises(KeyError):
+            get_video("bbb")
+
+    def test_manifest_validation(self):
+        with pytest.raises(ValueError):
+            VideoManifest("bad", (750, 300), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            VideoManifest("bad", (300, 750), np.ones((4, 3)))
+
+
+class TestTraces:
+    def test_generators_produce_requested_count(self):
+        for generator in (fcc_like_traces, cellular_like_traces, synth_traces):
+            traces = generator(count=5, duration=100.0, seed=0)
+            assert len(traces) == 5
+            for trace in traces:
+                assert trace.duration >= 90.0
+                assert np.all(trace.bandwidth_mbps > 0)
+
+    def test_synth_traces_more_variable_than_fcc(self):
+        fcc = fcc_like_traces(count=10, seed=0)
+        synth = synth_traces(count=10, seed=0)
+        fcc_cv = np.mean([t.bandwidth_mbps.std() / t.bandwidth_mbps.mean() for t in fcc])
+        synth_cv = np.mean([t.bandwidth_mbps.std() / t.bandwidth_mbps.mean() for t in synth])
+        assert synth_cv > fcc_cv
+
+    def test_bandwidth_at_loops(self):
+        trace = BandwidthTrace(timestamps=np.array([0.0, 10.0, 20.0]),
+                               bandwidth_mbps=np.array([1.0, 2.0, 3.0]), name="t")
+        assert trace.bandwidth_at(5.0) == 1.0
+        assert trace.bandwidth_at(15.0) == 2.0
+        assert trace.bandwidth_at(25.0) == 1.0  # wrapped around the 20 s duration
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0, 1.0]), np.array([1.0, -1.0]))
+
+    def test_get_traces_lookup(self):
+        assert get_traces("fcc", count=2)[0].name.startswith("fcc")
+        assert get_traces("cellular", count=2)[0].name.startswith("cellular")
+        with pytest.raises(KeyError):
+            get_traces("lte")
+
+    def test_settings_table3(self):
+        assert set(ABR_SETTINGS) == {"default_train", "default_test", "unseen_setting1",
+                                     "unseen_setting2", "unseen_setting3"}
+        video, traces = build_setting(ABR_SETTINGS["unseen_setting3"], num_traces=3)
+        assert video.name == "synth-video"
+        assert traces[0].name.startswith("synth")
+
+
+class TestSimulator:
+    def test_session_downloads_all_chunks(self, abr_setup):
+        video, traces, _ = abr_setup
+        session = StreamingSession(video, traces[0])
+        result = session.run_policy(BBAPolicy())
+        assert result.num_chunks == video.num_chunks
+        assert session.finished
+
+    def test_buffer_never_negative_and_capped(self, abr_setup):
+        video, traces, _ = abr_setup
+        config = SimulatorConfig(max_buffer_seconds=30.0)
+        session = StreamingSession(video, traces[0], config=config)
+        while not session.finished:
+            session.download_chunk(0)
+            assert 0.0 <= session.buffer_seconds <= 30.0
+
+    def test_low_bandwidth_high_bitrate_rebuffers(self):
+        video = envivio_dash3(num_chunks=10)
+        slow = BandwidthTrace(np.arange(0, 400, 4.0), np.full(100, 0.3), name="slow")
+        session = StreamingSession(video, slow)
+        result = session.run_policy(type("Max", (), {
+            "select_bitrate": lambda self, s: s.video.num_bitrates - 1,
+            "reset": lambda self: None})())
+        assert result.total_rebuffer_seconds > 0
+
+    def test_high_bandwidth_no_rebuffering_after_startup(self):
+        video = envivio_dash3(num_chunks=10)
+        fast = BandwidthTrace(np.arange(0, 400, 4.0), np.full(100, 50.0), name="fast")
+        config = SimulatorConfig(initial_buffer_seconds=4.0)
+        result = simulate_session(BBAPolicy(), video, fast, config=config)
+        assert result.total_rebuffer_seconds == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_bitrate_rejected(self, abr_setup):
+        video, traces, _ = abr_setup
+        session = StreamingSession(video, traces[0])
+        with pytest.raises(ValueError):
+            session.download_chunk(99)
+
+    def test_download_after_finish_rejected(self):
+        video = envivio_dash3(num_chunks=2)
+        trace = BandwidthTrace(np.array([0.0, 100.0]), np.array([5.0, 5.0]), name="t")
+        session = StreamingSession(video, trace)
+        session.download_chunk(0)
+        session.download_chunk(0)
+        with pytest.raises(RuntimeError):
+            session.download_chunk(0)
+
+
+class TestQoE:
+    def test_chunk_reward_formula(self):
+        reward = chunk_reward(3.0, rebuffer_seconds=1.0, previous_bitrate_mbps=2.0)
+        assert reward == pytest.approx(3.0 - 4.3 * 1.0 - 1.0)
+
+    def test_session_qoe_matches_manual_computation(self, abr_setup):
+        video, traces, _ = abr_setup
+        result = simulate_session(BBAPolicy(), video, traces[0])
+        manual = (result.bitrates_mbps.sum()
+                  - 4.3 * result.rebuffer_seconds.sum()
+                  - np.abs(np.diff(result.bitrates_mbps)).sum()) / result.num_chunks
+        assert result.qoe() == pytest.approx(manual)
+
+    def test_per_chunk_qoe_sums_to_total(self, abr_setup):
+        video, traces, _ = abr_setup
+        result = simulate_session(MPCPolicy(horizon=3), video, traces[0])
+        assert result.per_chunk_qoe().sum() / result.num_chunks == pytest.approx(result.qoe())
+
+    def test_breakdown_keys(self, abr_setup):
+        video, traces, _ = abr_setup
+        breakdown = simulate_session(BBAPolicy(), video, traces[0]).breakdown()
+        assert set(breakdown) == {"qoe", "bitrate", "rebuffering", "bitrate_variation"}
+
+
+class TestPolicies:
+    def test_bba_monotone_in_buffer(self, abr_setup):
+        video, traces, _ = abr_setup
+        policy = BBAPolicy(reservoir_seconds=5, cushion_seconds=40)
+        session = StreamingSession(video, traces[0])
+        session.buffer_seconds = 2.0
+        low = policy.select_bitrate(session)
+        session.buffer_seconds = 50.0
+        high = policy.select_bitrate(session)
+        assert low == 0
+        assert high == video.num_bitrates - 1
+
+    def test_bba_validation(self):
+        with pytest.raises(ValueError):
+            BBAPolicy(reservoir_seconds=10, cushion_seconds=5)
+
+    def test_mpc_actions_always_valid(self, abr_setup):
+        video, traces, _ = abr_setup
+        result = simulate_session(MPCPolicy(horizon=4), video, traces[0])
+        indices = [r.bitrate_index for r in result.records]
+        assert all(0 <= i < video.num_bitrates for i in indices)
+
+    def test_mpc_beats_bba_on_average(self, abr_setup):
+        video, traces, test_traces = abr_setup
+        bba = np.mean([simulate_session(BBAPolicy(), video, t, seed=i).qoe()
+                       for i, t in enumerate(test_traces)])
+        mpc = np.mean([simulate_session(MPCPolicy(horizon=5), video, t, seed=i).qoe()
+                       for i, t in enumerate(test_traces)])
+        assert mpc > bba
+
+    def test_oracle_mpc_runs(self, abr_setup):
+        video, traces, _ = abr_setup
+        result = simulate_session(OracleMPCPolicy(horizon=4), video, traces[0])
+        assert result.num_chunks == video.num_chunks
+
+    def test_observation_shapes_and_normalization(self, abr_setup):
+        video, traces, _ = abr_setup
+        session = StreamingSession(video, traces[0])
+        session.download_chunk(0)
+        observation = observe(session)
+        flat = observation.flatten()
+        assert flat.shape == (ABRObservation.flat_size(video.num_bitrates),)
+        normalized = normalize_observation(flat)
+        assert normalized.shape == flat.shape
+        assert np.all(np.isfinite(normalized))
+
+    def test_environment_rollout(self, abr_setup):
+        video, traces, _ = abr_setup
+        env = ABREnvironment(video, traces, seed=0)
+        outcome = rollout(env, BBAPolicy())
+        assert len(outcome["steps"]) == video.num_chunks
+        assert outcome["session"].num_chunks == video.num_chunks
+
+    def test_environment_requires_traces(self, abr_setup):
+        video, _, _ = abr_setup
+        with pytest.raises(ValueError):
+            ABREnvironment(video, [])
+
+    def test_genet_training_and_inference(self, abr_setup):
+        video, traces, test_traces = abr_setup
+        env = ABREnvironment(video, traces, seed=0)
+        policy, result = train_genet(env, imitation_epochs=20, seed=0)
+        assert result.imitation_losses[-1] < result.imitation_losses[0]
+        qoe = np.mean([simulate_session(policy, video, t, seed=i).qoe()
+                       for i, t in enumerate(test_traces)])
+        # At this tiny scale the learned policy should at least be in the same
+        # league as its MPC teacher (the full comparison lives in the benchmarks).
+        mpc = np.mean([simulate_session(MPCPolicy(horizon=5), video, t, seed=i).qoe()
+                       for i, t in enumerate(test_traces)])
+        assert qoe > 0.6 * mpc
+
+    def test_genet_validation(self, abr_setup):
+        video, traces, _ = abr_setup
+        env = ABREnvironment(video, traces, seed=0)
+        with pytest.raises(ValueError):
+            train_genet(env, imitation_epochs=0, rl_episodes=0)
+
+    def test_realworld_emulation(self, abr_setup):
+        video, _, _ = abr_setup
+        config = EmulationConfig(num_traces=2, trace_duration=150.0)
+        results = run_realworld_test({"BBA": BBAPolicy()}, "cellular", video=video, config=config)
+        assert "BBA" in results and "qoe" in results["BBA"]
+        with pytest.raises(KeyError):
+            run_realworld_test({"BBA": BBAPolicy()}, "satellite", video=video, config=config)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=0.1, max_value=10.0), st.floats(min_value=0.0, max_value=5.0))
+def test_property_chunk_reward_decreases_with_rebuffering(bitrate, rebuffer):
+    base = chunk_reward(bitrate, 0.0, bitrate)
+    worse = chunk_reward(bitrate, rebuffer, bitrate)
+    assert worse <= base

@@ -1,0 +1,209 @@
+"""Tests for the cluster-job-scheduling substrate: jobs, simulator, schedulers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cjs import (
+    CJS_SETTINGS,
+    DecimaScheduler,
+    FIFOScheduler,
+    FairScheduler,
+    Job,
+    MAX_CANDIDATES,
+    PARALLELISM_FRACTIONS,
+    ShortestJobFirstScheduler,
+    Stage,
+    TPCHLikeJobGenerator,
+    build_workload,
+    collect_trajectory,
+    decision_from_action,
+    encode_observation,
+    observation_size,
+    run_workload,
+    train_decima,
+)
+from repro.cjs.simulator import ClusterSimulator, SchedulingDecision
+
+
+class TestJobs:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Stage(0, num_tasks=0, task_duration=1.0)
+        with pytest.raises(ValueError):
+            Stage(0, num_tasks=1, task_duration=0.0)
+
+    def test_job_requires_dag(self):
+        graph = nx.DiGraph([(0, 1), (1, 0)])
+        stages = {0: Stage(0, 1, 1.0), 1: Stage(1, 1, 1.0)}
+        with pytest.raises(ValueError):
+            Job(job_id=0, stages=stages, dag=graph)
+
+    def test_generator_produces_valid_dags(self):
+        generator = TPCHLikeJobGenerator(seed=0)
+        for _ in range(20):
+            job = generator.generate()
+            assert nx.is_directed_acyclic_graph(job.dag)
+            assert 2 <= job.num_stages <= 10
+            assert job.total_work > 0
+            assert job.critical_path_length() <= job.total_work + 1e-9
+            assert job.roots()
+
+    def test_adjacency_and_features_shapes(self):
+        job = TPCHLikeJobGenerator(seed=1).generate()
+        adj = job.adjacency_matrix()
+        features = job.node_features()
+        assert adj.shape == (job.num_stages, job.num_stages)
+        assert features.shape == (job.num_stages, 3)
+        assert adj.sum() == job.dag.number_of_edges()
+
+    def test_workload_arrival_times_sorted_batch_first(self):
+        jobs = TPCHLikeJobGenerator(seed=2).generate_workload(10, batch_fraction=0.3)
+        assert len(jobs) == 10
+        assert sum(1 for j in jobs if j.arrival_time == 0.0) >= 3
+        assert all(j.arrival_time >= 0 for j in jobs)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            TPCHLikeJobGenerator(min_stages=5, max_stages=2)
+        with pytest.raises(ValueError):
+            TPCHLikeJobGenerator().generate_workload(0)
+
+    def test_settings_table4(self):
+        assert set(CJS_SETTINGS) == {"default_train", "default_test", "unseen_setting1",
+                                     "unseen_setting2", "unseen_setting3"}
+        assert CJS_SETTINGS["unseen_setting2"].num_jobs > CJS_SETTINGS["default_test"].num_jobs
+        assert CJS_SETTINGS["unseen_setting1"].num_executors < CJS_SETTINGS["default_test"].num_executors
+        jobs, executors = build_workload(CJS_SETTINGS["default_test"], seed=0)
+        assert jobs and executors >= 2
+
+
+class TestSimulator:
+    def _simple_workload(self):
+        return TPCHLikeJobGenerator(seed=3).generate_workload(6)
+
+    def test_all_jobs_complete(self):
+        jobs = self._simple_workload()
+        result = run_workload(FIFOScheduler(), jobs, num_executors=4)
+        assert set(result.job_completion_times) == {job.job_id for job in jobs}
+        assert result.makespan > 0
+        assert np.all(result.jcts > 0)
+
+    def test_jct_at_least_critical_path(self):
+        jobs = self._simple_workload()
+        result = run_workload(ShortestJobFirstScheduler(), jobs, num_executors=100)
+        for job in jobs:
+            jct = result.job_completion_times[job.job_id] - job.arrival_time
+            # With unlimited executors each stage runs in one wave, so the JCT
+            # cannot beat the critical path of task durations.
+            min_path = 0.0
+            order = list(nx.topological_sort(job.dag))
+            longest = {}
+            for node in order:
+                parent = max((longest[p] for p in job.dag.predecessors(node)), default=0.0)
+                longest[node] = parent + job.stages[node].task_duration
+            min_path = max(longest.values())
+            assert jct >= min_path - 1e-6
+
+    def test_more_executors_never_hurt_fifo(self):
+        jobs = self._simple_workload()
+        small = run_workload(FIFOScheduler(), jobs, num_executors=2).average_jct
+        large = run_workload(FIFOScheduler(), jobs, num_executors=20).average_jct
+        assert large <= small + 1e-9
+
+    def test_sjf_beats_fifo_on_average_jct(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        fifo = run_workload(FIFOScheduler(), test_jobs, executors).average_jct
+        sjf = run_workload(ShortestJobFirstScheduler(), test_jobs, executors).average_jct
+        assert sjf < fifo
+
+    def test_invalid_scheduler_choice_rejected(self):
+        jobs = self._simple_workload()
+
+        class BadScheduler:
+            def schedule(self, context):
+                return SchedulingDecision(job_id=9999, stage_id=0, num_executors=1)
+
+        with pytest.raises(ValueError):
+            run_workload(BadScheduler(), jobs, num_executors=2)
+
+    def test_simulator_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([], num_executors=2)
+        with pytest.raises(ValueError):
+            ClusterSimulator(self._simple_workload(), num_executors=0)
+
+
+class TestObservations:
+    def test_observation_vector_size(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        trajectory = collect_trajectory(FIFOScheduler(), test_jobs, executors)
+        assert trajectory.transitions
+        for transition in trajectory.transitions[:5]:
+            assert transition.observation.shape == (observation_size(),)
+            assert 0 <= transition.candidate_index < MAX_CANDIDATES
+            assert 0 <= transition.parallelism_bucket < len(PARALLELISM_FRACTIONS)
+
+    def test_rewards_are_nonpositive_and_sum_relates_to_jct(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        trajectory = collect_trajectory(ShortestJobFirstScheduler(), test_jobs, executors)
+        assert all(t.reward <= 0 for t in trajectory.transitions)
+        assert trajectory.total_reward < 0
+
+    def test_better_scheduler_gets_higher_total_reward(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        sjf = collect_trajectory(ShortestJobFirstScheduler(), test_jobs, executors)
+        fifo = collect_trajectory(FIFOScheduler(), test_jobs, executors)
+        assert sjf.total_reward > fifo.total_reward
+
+    def test_decision_from_action_clamps(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        captured = {}
+
+        class Spy(ShortestJobFirstScheduler):
+            def schedule(self, context):
+                if "context" not in captured:
+                    captured["context"] = context
+                return super().schedule(context)
+
+        run_workload(Spy(), test_jobs, executors)
+        context = captured["context"]
+        decision = decision_from_action(context, candidate_index=999, parallelism_bucket=999)
+        assert (decision.job_id, decision.stage_id) in context.runnable
+        assert decision.num_executors >= 1
+
+
+class TestSchedulers:
+    def test_fair_rotates_between_jobs(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        result = run_workload(FairScheduler(), test_jobs, executors)
+        assert result.average_jct > 0
+
+    def test_decima_untrained_produces_valid_schedule(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        result = run_workload(DecimaScheduler(seed=0), test_jobs, executors)
+        assert set(result.job_completion_times) == {j.job_id for j in test_jobs}
+
+    def test_decima_training_improves_over_fifo(self, cjs_setup):
+        train_workloads, test_jobs, executors = cjs_setup
+        decima, train_result = train_decima(train_workloads, executors, epochs=2, seed=0)
+        assert train_result.imitation_losses[-1] < train_result.imitation_losses[0]
+        decima_jct = run_workload(decima, test_jobs, executors).average_jct
+        fifo_jct = run_workload(FIFOScheduler(), test_jobs, executors).average_jct
+        assert decima_jct < fifo_jct
+
+    def test_train_decima_requires_workloads(self):
+        with pytest.raises(ValueError):
+            train_decima([], num_executors=2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=10))
+def test_property_stage_waves(num_tasks, executors):
+    """A stage with t tasks on e executors takes ceil(t/e) waves."""
+    stage = Stage(0, num_tasks=num_tasks, task_duration=2.0)
+    allocation = min(executors, stage.num_tasks)
+    waves = int(np.ceil(stage.num_tasks / allocation))
+    assert waves * allocation >= stage.num_tasks
+    assert (waves - 1) * allocation < stage.num_tasks

@@ -1,0 +1,224 @@
+"""Integration tests: DD-LRNA adaptation pipelines, NetLLM policies, prompt learning,
+profiling and the Figure 9 APIs, all at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.abr import BBAPolicy, MPCPolicy, simulate_session
+from repro.cjs import FIFOScheduler, ShortestJobFirstScheduler, run_workload
+from repro.core import (
+    DecisionAdapter,
+    NetLLMABRPolicy,
+    NetLLMCJSScheduler,
+    PromptLearningVP,
+    VPAdapter,
+    adapt_decision,
+    adapt_prediction,
+    adapt_vp,
+    build_prompt,
+    collect_abr_experience,
+    collect_cjs_experience,
+    evaluate_abr_policies,
+    evaluate_cjs_schedulers,
+    evaluate_vp_methods,
+    finetune_memory_bytes,
+    parse_answer,
+    profile_finetune,
+    profile_inference,
+    profile_rl_adaptation,
+    rl_collect_abr,
+    rl_collect_cjs,
+)
+from repro.core.api import adapt_abr, adapt_cjs
+from repro.llm import build_llm
+from repro.nn import Adam, Tensor
+from repro.vp import evaluate_predictor
+
+
+# ---------------------------------------------------------------------- #
+# Prediction pipeline (VP)
+# ---------------------------------------------------------------------- #
+class TestVPAdaptation:
+    def test_adapt_prediction_reduces_loss(self, tiny_llm, vp_data):
+        setting, train, _ = vp_data
+        adapter = VPAdapter(tiny_llm, prediction_steps=setting.prediction_steps, seed=0)
+        result = adapt_prediction(adapter, train, iterations=30, batch_size=8, seed=0)
+        assert result.iterations == 30
+        assert np.mean(result.losses[-5:]) < np.mean(result.losses[:5])
+        assert 0 < result.trainable_fraction < 1
+
+    def test_adapt_vp_api_learns_and_is_competitive(self, vp_data):
+        setting, train, test = vp_data
+        llm = build_llm("tiny-test", lora_rank=4, pretrained=True, pretrain_steps=20, seed=2)
+        untrained = VPAdapter(build_llm("tiny-test", lora_rank=4, pretrained=True,
+                                        pretrain_steps=20, seed=2),
+                              prediction_steps=setting.prediction_steps, seed=0)
+        untrained_mae = evaluate_predictor(untrained, test)["mae"]
+        adaptation = adapt_vp(train, setting.prediction_steps, llm=llm, iterations=120,
+                              lr=3e-3, seed=0)
+        results = evaluate_vp_methods(setting, train, test, netllm=adaptation.adapter,
+                                      track_epochs=3, seed=0)
+        assert set(results) == {"LR", "Velocity", "TRACK", "NetLLM"}
+        # Adaptation must clearly improve over an unadapted model, and the
+        # adapted model must be in the same league as the learned baseline.
+        # (The full "NetLLM beats all baselines" claim is checked at benchmark
+        # scale, not at this deliberately tiny unit-test scale.)
+        assert results["NetLLM"]["mae"] < untrained_mae * 0.8
+        rule_based = max(results["LR"]["mae"], results["Velocity"]["mae"])
+        assert results["NetLLM"]["mae"] < 1.5 * rule_based
+
+    def test_adapt_prediction_validation(self, tiny_llm, vp_data):
+        setting, train, _ = vp_data
+        adapter = VPAdapter(tiny_llm, prediction_steps=setting.prediction_steps, seed=0)
+        with pytest.raises(ValueError):
+            adapt_prediction(adapter, train, iterations=0)
+        with pytest.raises(ValueError):
+            adapt_prediction(adapter, [], iterations=5)
+
+
+# ---------------------------------------------------------------------- #
+# Decision-making pipeline (ABR)
+# ---------------------------------------------------------------------- #
+class TestABRAdaptation:
+    def test_experience_collection(self, abr_setup):
+        video, traces, _ = abr_setup
+        pool = collect_abr_experience({"BBA": BBAPolicy(), "MPC": MPCPolicy(horizon=3)},
+                                      video, traces[:2], seed=0)
+        assert len(pool) == 4  # 2 policies x 2 traces
+        assert pool.num_transitions == 4 * video.num_chunks
+        assert set(pool.policy_names()) == {"BBA", "MPC"}
+
+    def test_adapt_decision_reduces_loss(self, tiny_llm, abr_setup):
+        video, traces, _ = abr_setup
+        pool = rl_collect_abr(video, traces[:2], policies={"MPC": MPCPolicy(horizon=3)}, seed=0)
+        from repro.abr.env import ABRObservation
+
+        adapter = DecisionAdapter(tiny_llm, state_dim=ABRObservation.flat_size(video.num_bitrates),
+                                  action_dims=(video.num_bitrates,), context_window=4,
+                                  head="abr", seed=0)
+        result = adapt_decision(adapter, pool, iterations=40, batch_size=8, seed=0)
+        assert np.mean(result.losses[-10:]) < np.mean(result.losses[:10])
+
+    def test_netllm_abr_policy_streams_whole_video(self, abr_setup):
+        video, traces, test_traces = abr_setup
+        llm = build_llm("tiny-test", lora_rank=4, pretrained=True, pretrain_steps=15, seed=3)
+        adaptation = adapt_abr(video, traces[:2], llm=llm, iterations=60, context_window=4,
+                               seed=0)
+        policy = adaptation.policy
+        session = simulate_session(policy, video, test_traces[0], seed=0)
+        assert session.num_chunks == video.num_chunks
+        indices = [r.bitrate_index for r in session.records]
+        # Answers produced by the networking head are always valid bitrates.
+        assert all(0 <= i < video.num_bitrates for i in indices)
+
+    def test_evaluate_abr_policies_reports_factors(self, abr_setup):
+        video, _, test_traces = abr_setup
+        results = evaluate_abr_policies({"BBA": BBAPolicy()}, video, test_traces[:2])
+        assert {"qoe", "bitrate", "rebuffering", "bitrate_variation"} <= set(results["BBA"])
+
+
+# ---------------------------------------------------------------------- #
+# Decision-making pipeline (CJS)
+# ---------------------------------------------------------------------- #
+class TestCJSAdaptation:
+    def test_experience_collection(self, cjs_setup):
+        train_workloads, _, executors = cjs_setup
+        pool = collect_cjs_experience({"SJF": ShortestJobFirstScheduler()},
+                                      train_workloads, executors)
+        assert len(pool) == len(train_workloads)
+        assert pool.best_return < 0  # JCT costs are negative rewards
+
+    def test_netllm_cjs_scheduler_completes_workload(self, cjs_setup):
+        train_workloads, test_jobs, executors = cjs_setup
+        llm = build_llm("tiny-test", lora_rank=4, pretrained=True, pretrain_steps=15, seed=4)
+        adaptation = adapt_cjs(train_workloads, executors, llm=llm, iterations=60,
+                               context_window=4, seed=0)
+        scheduler = adaptation.scheduler
+        scheduler.reset()
+        result = run_workload(scheduler, test_jobs, executors)
+        assert set(result.job_completion_times) == {j.job_id for j in test_jobs}
+        assert result.average_jct > 0
+
+    def test_evaluate_cjs_schedulers(self, cjs_setup):
+        _, test_jobs, executors = cjs_setup
+        results = evaluate_cjs_schedulers({"FIFO": FIFOScheduler()}, [test_jobs], executors)
+        assert "jct" in results["FIFO"]
+        assert len(results["FIFO"]["per_job_jct"]) == len(test_jobs)
+
+    def test_rl_collect_cjs_default_policies(self, cjs_setup):
+        train_workloads, _, executors = cjs_setup
+        pool = rl_collect_cjs(train_workloads[:1], executors)
+        assert set(pool.policy_names()) == {"SJF", "Fair"}
+
+
+# ---------------------------------------------------------------------- #
+# Prompt learning baseline (Figure 2)
+# ---------------------------------------------------------------------- #
+class TestPromptLearning:
+    def test_prompt_and_answer_roundtrip(self):
+        history = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        prompt = build_prompt(history, prediction_steps=2)
+        assert "past 2 viewports" in prompt
+        parsed = parse_answer("(1.00,2.00,3.00) (4.00,5.00,6.00)", 2)
+        np.testing.assert_allclose(parsed, history)
+
+    def test_parse_rejects_invalid_answers(self):
+        assert parse_answer("gibberish", 2) is None
+        assert parse_answer("(1.0,2.0)", 2) is None          # too few numbers
+        assert parse_answer("(99999.0," * 6 + ")", 2) is None  # out of range
+
+    def test_prompt_learning_pipeline(self, vp_data):
+        setting, train, test = vp_data
+        llm = build_llm("tiny-test", lora_rank=0, pretrained=True, pretrain_steps=15, seed=5)
+        prompt_vp = PromptLearningVP(llm, prediction_steps=setting.prediction_steps, seed=0)
+        losses = prompt_vp.fine_tune(train[:20], iterations=15, batch_size=4)
+        assert losses[-1] < losses[0] * 1.5  # training runs and does not diverge wildly
+        result = prompt_vp.evaluate(test[:3], max_new_tokens=30)
+        assert result.mae > 0
+        assert 0.0 <= result.valid_fraction <= 1.0
+        assert result.mean_inferences > 1  # token-by-token generation needs many inferences
+
+
+# ---------------------------------------------------------------------- #
+# Cost profiling (Figures 3 and 4, §5.4)
+# ---------------------------------------------------------------------- #
+class TestProfiling:
+    def test_lora_uses_fewer_trainable_params_and_less_memory(self):
+        full = build_llm("tiny-test", lora_rank=0, pretrained=False, seed=0)
+        lora = build_llm("tiny-test", lora_rank=4, pretrained=False, seed=0)
+        lora.freeze_backbone()
+        assert lora.num_parameters(trainable_only=True) < full.num_parameters(trainable_only=True)
+        assert finetune_memory_bytes(lora) < finetune_memory_bytes(full)
+
+    def test_profile_finetune_reports_costs(self, tiny_llm):
+        x = np.random.default_rng(0).normal(size=(4, 3, tiny_llm.d_model))
+        optimizer = Adam(tiny_llm.trainable_parameters(), lr=1e-3)
+
+        def step():
+            out = tiny_llm.forward_embeddings(Tensor(x))
+            loss = (out * out).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            return float(loss.data)
+
+        cost = profile_finetune("lora", tiny_llm, step, steps=3)
+        assert cost.wall_seconds > 0
+        assert 0 < cost.trainable_fraction < 1
+
+    def test_profile_rl_adaptation_split(self):
+        calls = {"collect": 0, "update": 0}
+        cost = profile_rl_adaptation(
+            "standard", lambda: calls.__setitem__("collect", calls["collect"] + 1),
+            lambda: calls.__setitem__("update", calls["update"] + 1),
+            collect_rounds=5, update_rounds=5)
+        assert calls == {"collect": 5, "update": 5}
+        assert 0.0 <= cost.experience_fraction <= 1.0
+
+    def test_profile_inference(self, tiny_llm):
+        x = np.random.default_rng(0).normal(size=(1, 4, tiny_llm.d_model))
+        overhead = profile_inference("tiny", tiny_llm,
+                                     lambda: tiny_llm.forward_embeddings(Tensor(x)),
+                                     repetitions=3)
+        assert overhead.mean_latency_seconds > 0
+        assert overhead.model_memory_bytes > 0

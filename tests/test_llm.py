@@ -1,0 +1,207 @@
+"""Tests for the LLM substitute: configs, tokenizer, model, pre-training, generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm import (
+    CharTokenizer,
+    LanguageModel,
+    available_configs,
+    build_corpus,
+    build_llm,
+    generate,
+    get_config,
+    pretrain,
+    profile_generation,
+)
+from repro.llm.config import LLMConfig
+
+
+class TestConfigs:
+    def test_known_configs_exist(self):
+        names = available_configs()
+        for required in ("llama2-7b-sim", "opt-7b-sim", "mistral-7b-sim", "llava-7b-sim",
+                         "opt-0.35b-sim", "opt-1.3b-sim", "opt-13b-sim", "tiny-test"):
+            assert required in names
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get_config("gpt-5")
+
+    def test_size_ordering_preserved(self):
+        """The size sweep must preserve capacity ordering of the real models."""
+        sizes = ["opt-0.35b-sim", "opt-1.3b-sim", "opt-2.7b-sim", "opt-7b-sim", "opt-13b-sim"]
+        widths = [get_config(name).d_model * get_config(name).num_layers for name in sizes]
+        assert widths == sorted(widths)
+        simulated = [get_config(name).simulated_param_count for name in sizes]
+        assert simulated == sorted(simulated)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LLMConfig(name="bad", family="x", d_model=10, num_layers=1, num_heads=3)
+
+    def test_scaled_override(self):
+        cfg = get_config("tiny-test").scaled(num_layers=4)
+        assert cfg.num_layers == 4
+        assert cfg.d_model == get_config("tiny-test").d_model
+
+    def test_llava_is_multimodal(self):
+        assert get_config("llava-7b-sim").multimodal
+        assert not get_config("llama2-7b-sim").multimodal
+
+
+class TestTokenizer:
+    def test_roundtrip(self):
+        tok = CharTokenizer()
+        text = "viewport (6.76,4.40,150.33) next"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_special_tokens(self):
+        tok = CharTokenizer()
+        ids = tok.encode("abc", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id
+        assert ids[-1] == tok.eos_id
+        assert tok.decode(ids) == "abc"
+
+    def test_unknown_characters_map_to_unk(self):
+        tok = CharTokenizer()
+        ids = tok.encode("a€b")
+        assert tok.unk_id in ids
+
+    def test_batch_encoding_pads(self):
+        tok = CharTokenizer()
+        batch = tok.encode_batch(["ab", "abcdef"], max_len=10)
+        assert batch.shape == (2, 10)
+        assert batch[0, -1] == tok.pad_id
+
+    def test_decode_out_of_range(self):
+        tok = CharTokenizer()
+        with pytest.raises(ValueError):
+            tok.decode([tok.vocab_size + 5])
+
+    def test_tokens_per_answer_counts_eos(self):
+        tok = CharTokenizer()
+        assert tok.tokens_per_answer("12") == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="0123456789. ,()-abcdef", max_size=40))
+    def test_property_roundtrip(self, text):
+        tok = CharTokenizer()
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestModel:
+    def test_forward_tokens_shape(self, tiny_llm_plain):
+        ids = np.array([[1, 5, 9, 12]])
+        logits = tiny_llm_plain.forward_tokens(ids)
+        assert logits.shape == (1, 4, tiny_llm_plain.tokenizer.vocab_size)
+
+    def test_forward_embeddings_bypasses_lm_head(self, tiny_llm_plain):
+        emb = np.random.default_rng(0).normal(size=(2, 3, tiny_llm_plain.d_model))
+        from repro.nn import Tensor
+
+        out = tiny_llm_plain.forward_embeddings(Tensor(emb))
+        assert out.shape == (2, 3, tiny_llm_plain.d_model)
+
+    def test_freeze_backbone_keeps_lora_trainable(self, tiny_llm):
+        tiny_llm.freeze_backbone()
+        trainable = [n for n, p in tiny_llm.named_parameters() if p.requires_grad]
+        assert trainable
+        assert all(n.endswith("lora_a") or n.endswith("lora_b") for n in trainable)
+        assert tiny_llm.trainable_fraction() < 0.5
+
+    def test_num_lora_parameters_positive(self, tiny_llm):
+        assert tiny_llm.num_lora_parameters() > 0
+
+    def test_set_lora_enabled_changes_output(self, tiny_llm):
+        from repro.nn import Tensor
+
+        rng = np.random.default_rng(0)
+        # Give LoRA B matrices non-zero values so disabling them matters.
+        for name, param in tiny_llm.named_parameters():
+            if name.endswith("lora_b"):
+                param.data = rng.normal(0, 0.1, size=param.data.shape)
+        emb = Tensor(rng.normal(size=(1, 4, tiny_llm.d_model)))
+        with_lora = tiny_llm.forward_embeddings(emb).data.copy()
+        tiny_llm.set_lora_enabled(False)
+        without = tiny_llm.forward_embeddings(emb).data
+        tiny_llm.set_lora_enabled(True)
+        for name, param in tiny_llm.named_parameters():
+            if name.endswith("lora_b"):
+                param.data = np.zeros_like(param.data)
+        assert not np.allclose(with_lora, without)
+
+    def test_randomize_weights_changes_parameters(self):
+        model = build_llm("tiny-test", pretrained=False, seed=3)
+        before = model.backbone.position_embedding.data.copy()
+        model.randomize_weights(seed=99)
+        assert not np.allclose(before, model.backbone.position_embedding.data)
+
+    def test_parameter_memory_accounting(self, tiny_llm):
+        total = tiny_llm.parameter_memory_bytes()
+        trainable = tiny_llm.parameter_memory_bytes(trainable_only=True)
+        assert 0 < trainable < total
+
+
+class TestPretraining:
+    def test_corpus_contains_series_and_text(self):
+        corpus = build_corpus(num_documents=40, seed=1)
+        assert len(corpus) == 40
+        assert any(doc.startswith("series:") for doc in corpus)
+        assert any(doc.startswith("wave:") for doc in corpus)
+
+    def test_pretraining_reduces_loss(self):
+        model = LanguageModel(get_config("tiny-test"), seed=0)
+        result = pretrain(model, steps=40, seed=0)
+        assert result.steps == 40
+        assert result.improved
+        assert result.final_loss < result.initial_loss
+
+    def test_pretrain_validates_steps(self):
+        model = LanguageModel(get_config("tiny-test"), seed=0)
+        with pytest.raises(ValueError):
+            pretrain(model, steps=0)
+
+
+class TestGeneration:
+    def test_greedy_generation_is_deterministic(self, tiny_llm_plain):
+        a = generate(tiny_llm_plain, "series: 1.0 2.0", max_new_tokens=8)
+        b = generate(tiny_llm_plain, "series: 1.0 2.0", max_new_tokens=8)
+        assert a.text == b.text
+        assert a.num_inferences <= 8
+
+    def test_generation_counts_inferences(self, tiny_llm_plain):
+        result = generate(tiny_llm_plain, "abc", max_new_tokens=5, temperature=0.8, seed=1)
+        # One transformer inference per generated token: the latency problem
+        # Figure 2 quantifies.
+        assert result.num_inferences >= len(result.token_ids)
+        assert result.elapsed_seconds > 0
+
+    def test_generation_validates_budget(self, tiny_llm_plain):
+        with pytest.raises(ValueError):
+            generate(tiny_llm_plain, "abc", max_new_tokens=0)
+
+    def test_profile_generation_validity_fraction(self, tiny_llm_plain):
+        profile = profile_generation(tiny_llm_plain, ["1.0 2.0", "3.0 4.0"],
+                                     validator=lambda text: "." in text,
+                                     max_new_tokens=6, temperature=0.9)
+        assert profile.num_answers == 2
+        assert 0.0 <= profile.valid_fraction <= 1.0
+        assert profile.mean_latency > 0
+
+
+class TestRegistry:
+    def test_build_llm_without_pretraining(self):
+        model = build_llm("tiny-test", pretrained=False, seed=7)
+        assert isinstance(model, LanguageModel)
+
+    def test_cache_returns_same_instance(self):
+        from repro.llm import clear_cache, load_llm
+
+        clear_cache()
+        a = load_llm("tiny-test", pretrain_steps=5, seed=11)
+        b = load_llm("tiny-test", pretrain_steps=5, seed=11)
+        assert a is b
+        c = load_llm("tiny-test", pretrain_steps=5, seed=11, use_cache=False)
+        assert c is not a

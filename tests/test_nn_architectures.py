@@ -1,0 +1,171 @@
+"""Tests for convolution, attention, transformer, LSTM and GNN layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    Conv1D,
+    GraphEncoder,
+    LSTM,
+    LSTMCell,
+    MultiHeadAttention,
+    PatchImageEncoder,
+    TemporalConvEncoder,
+    Tensor,
+    TransformerBackbone,
+    TransformerBlock,
+    causal_mask,
+    normalized_adjacency,
+)
+
+
+class TestConv1D:
+    def test_output_length(self):
+        conv = Conv1D(2, 4, kernel_size=3, padding=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 10, 2)))
+        assert conv(x).shape == (2, 10, 4)
+        assert conv.output_length(10) == 10
+
+    def test_stride(self):
+        conv = Conv1D(1, 2, kernel_size=2, stride=2)
+        x = Tensor(np.zeros((1, 8, 1)))
+        assert conv(x).shape == (1, 4, 2)
+
+    def test_gradient_flows(self):
+        conv = Conv1D(3, 5, kernel_size=3, padding=1)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 6, 3)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad.shape == (2, 6, 3)
+        assert conv.weight.grad is not None
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv1D(3, 5, kernel_size=3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 6, 2))))
+
+    def test_too_short_input_rejected(self):
+        conv = Conv1D(1, 1, kernel_size=5)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 3, 1))))
+
+    def test_temporal_encoder_pools_to_feature_dim(self):
+        encoder = TemporalConvEncoder(in_channels=2, feature_dim=16)
+        out = encoder(Tensor(np.random.default_rng(2).normal(size=(4, 12, 2))))
+        assert out.shape == (4, 16)
+
+    def test_patch_image_encoder(self):
+        encoder = PatchImageEncoder(image_size=32, patch_size=8, feature_dim=24)
+        images = np.random.default_rng(3).random((5, 32, 32))
+        out = encoder(images)
+        assert out.shape == (5, 24)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((1, 16, 16)))
+
+
+class TestAttention:
+    def test_causal_mask_structure(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0)
+        assert np.all(mask[np.triu_indices(4, k=1)] < -1e8)
+
+    def test_attention_shapes(self):
+        attn = MultiHeadAttention(d_model=16, num_heads=4)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(d_model=10, num_heads=3)
+
+    def test_causality_future_does_not_leak(self):
+        """Changing a future timestep must not change earlier outputs."""
+        backbone = TransformerBackbone(d_model=16, num_layers=2, num_heads=2, max_seq_len=8)
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(1, 6, 16))
+        modified = base.copy()
+        modified[0, 5, :] = rng.normal(size=16) * 3.0
+        out_base = backbone(Tensor(base)).data
+        out_mod = backbone(Tensor(modified)).data
+        np.testing.assert_allclose(out_base[0, :5], out_mod[0, :5], atol=1e-9)
+        assert not np.allclose(out_base[0, 5], out_mod[0, 5])
+
+    def test_backbone_rejects_long_sequences(self):
+        backbone = TransformerBackbone(d_model=8, num_layers=1, num_heads=1, max_seq_len=4)
+        with pytest.raises(ValueError):
+            backbone(Tensor(np.zeros((1, 5, 8))))
+
+    def test_backbone_rejects_wrong_dim(self):
+        backbone = TransformerBackbone(d_model=8, num_layers=1, num_heads=1, max_seq_len=4)
+        with pytest.raises(ValueError):
+            backbone(Tensor(np.zeros((1, 3, 16))))
+
+    def test_lora_backbone_has_lora_parameters(self):
+        backbone = TransformerBackbone(d_model=16, num_layers=1, num_heads=2, lora_rank=4)
+        names = [name for name, _ in backbone.named_parameters()]
+        assert any(name.endswith("lora_a") for name in names)
+        assert any(name.endswith("lora_b") for name in names)
+
+    def test_transformer_block_residual_path(self):
+        block = TransformerBlock(d_model=16, num_heads=2)
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 4, 16)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestRecurrent:
+    def test_lstm_cell_step(self):
+        cell = LSTMCell(3, 6)
+        h, c = cell.initial_state(batch=2)
+        h2, c2 = cell(Tensor(np.ones((2, 3))), (h, c))
+        assert h2.shape == (2, 6)
+        assert c2.shape == (2, 6)
+
+    def test_lstm_sequence_output(self):
+        lstm = LSTM(3, 5)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 7, 3)))
+        seq, (h, c) = lstm(x)
+        assert seq.shape == (2, 7, 5)
+        np.testing.assert_allclose(seq.data[:, -1, :], h.data)
+
+    def test_lstm_gradient(self):
+        lstm = LSTM(2, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 5, 2)), requires_grad=True)
+        _, (h, _) = lstm(x)
+        h.sum().backward()
+        assert x.grad is not None
+        assert lstm.cell.w_ih.grad is not None
+
+
+class TestGraph:
+    def test_normalized_adjacency_rows_sum_to_one(self):
+        adj = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float)
+        norm = normalized_adjacency(adj)
+        np.testing.assert_allclose(norm.sum(axis=1), np.ones(3))
+
+    def test_normalized_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_graph_encoder_shapes(self):
+        encoder = GraphEncoder(in_features=4, hidden_features=8, out_features=6, num_layers=2)
+        features = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        adj = np.zeros((5, 5))
+        adj[0, 1] = adj[1, 2] = adj[2, 3] = 1
+        nodes = encoder(features, adj)
+        assert nodes.shape == (5, 6)
+        graph = encoder.encode_graph(features, adj)
+        assert graph.shape == (6,)
+
+    def test_graph_encoder_invalid_layers(self):
+        with pytest.raises(ValueError):
+            GraphEncoder(3, 4, 5, num_layers=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=3, max_value=12), st.integers(min_value=1, max_value=3))
+def test_property_conv_output_length_formula(length, kernel):
+    conv = Conv1D(1, 1, kernel_size=kernel)
+    x = Tensor(np.zeros((1, length, 1)))
+    assert conv(x).shape[1] == length - kernel + 1

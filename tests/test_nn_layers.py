@@ -1,0 +1,151 @@
+"""Tests for parameterized layers, containers and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+    load_state_dict,
+    save_state_dict,
+)
+
+
+class TestModuleRegistry:
+    def test_parameters_discovered_recursively(self):
+        mlp = MLP(4, [8, 8], 2)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+        assert mlp.num_parameters() == sum(p.size for p in mlp.parameters())
+        assert any("layer0" in n for n in names)
+
+    def test_freeze_and_unfreeze(self):
+        lin = Linear(3, 2)
+        lin.freeze()
+        assert all(not p.requires_grad for p in lin.parameters())
+        assert lin.num_parameters(trainable_only=True) == 0
+        lin.unfreeze()
+        assert lin.num_parameters(trainable_only=True) == lin.num_parameters()
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(3, 3), Dropout(0.5), Linear(3, 1))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad(self):
+        lin = Linear(3, 2)
+        out = lin(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        source = MLP(4, [6], 2, seed=None) if False else MLP(4, [6], 2)
+        target = MLP(4, [6], 2, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_strict_mismatch(self):
+        lin = Linear(3, 2)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({"weight": np.zeros((3, 2))})  # missing bias
+
+    def test_state_dict_shape_mismatch(self):
+        lin = Linear(3, 2)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(state)
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        lin = Linear(5, 3)
+        out = lin(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+        np.testing.assert_allclose(out.data, np.zeros((7, 3)))
+
+    def test_linear_no_bias(self):
+        lin = Linear(5, 3, bias=False)
+        assert len(lin.parameters()) == 1
+
+    def test_layernorm_normalizes(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 16)))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_embedding_lookup_and_bounds(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(drop(x).data, np.ones((3, 3)))
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        # Surviving units are scaled to 2.0, so the mean stays near 1.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_sequential_and_modulelist(self):
+        seq = Sequential(Linear(3, 4), Linear(4, 2))
+        assert len(seq) == 2
+        out = seq(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 2)
+        mlist = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(mlist) == 2
+        with pytest.raises(RuntimeError):
+            mlist(Tensor(np.ones((1, 2))))
+
+    def test_mlp_activations(self):
+        for act in ("relu", "gelu", "tanh"):
+            mlp = MLP(3, [5], 2, activation=act)
+            assert mlp(Tensor(np.ones((2, 3)))).shape == (2, 2)
+        with pytest.raises(ValueError):
+            MLP(3, [5], 2, activation="swish")
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = MLP(4, [8], 3)
+        path = tmp_path / "model.npz"
+        save_state_dict(model, path, metadata={"task": "test", "iterations": 5})
+        state, metadata = load_state_dict(path)
+        assert metadata == {"task": "test", "iterations": 5}
+        fresh = MLP(4, [8], 3, rng=np.random.default_rng(123))
+        fresh.load_state_dict(state)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)))
+        np.testing.assert_allclose(model(x).data, fresh(x).data)
+
+    def test_load_without_metadata(self, tmp_path):
+        model = Linear(2, 2)
+        path = tmp_path / "lin.npz"
+        save_state_dict(model, path)
+        _, metadata = load_state_dict(path)
+        assert metadata is None

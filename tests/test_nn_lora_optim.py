@@ -1,0 +1,158 @@
+"""Tests for LoRA adapters, optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineSchedule,
+    Linear,
+    LoRALinear,
+    MLP,
+    SGD,
+    Tensor,
+    TransformerBackbone,
+    clip_grad_norm,
+    iter_lora_layers,
+    mark_only_lora_trainable,
+    mse_loss,
+)
+
+
+class TestLoRA:
+    def test_initial_output_matches_frozen_base(self):
+        """LoRA B starts at zero, so the layer initially equals the base layer."""
+        layer = LoRALinear(6, 4, rank=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 6)))
+        expected = x.data @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, atol=1e-12)
+
+    def test_only_lora_matrices_trainable(self):
+        layer = LoRALinear(6, 4, rank=2)
+        trainable = [p for p in layer.parameters() if p.requires_grad]
+        assert len(trainable) == 2
+        assert layer.num_lora_parameters() == 6 * 2 + 2 * 4
+
+    def test_disable_lora_reverts_to_base(self):
+        layer = LoRALinear(5, 5, rank=3)
+        layer.lora_b.data = np.random.default_rng(1).normal(size=layer.lora_b.data.shape)
+        x = Tensor(np.ones((1, 5)))
+        with_lora = layer(x).data.copy()
+        layer.enable_lora(False)
+        without = layer(x).data
+        assert not np.allclose(with_lora, without)
+        np.testing.assert_allclose(without, x.data @ layer.weight.data + layer.bias.data)
+
+    def test_merged_weight(self):
+        layer = LoRALinear(4, 4, rank=2, alpha=2.0)
+        layer.lora_a.data = np.ones_like(layer.lora_a.data)
+        layer.lora_b.data = np.ones_like(layer.lora_b.data)
+        merged = layer.merged_weight()
+        np.testing.assert_allclose(merged, layer.weight.data + 2.0 * 1.0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            LoRALinear(4, 4, rank=0)
+
+    def test_mark_only_lora_trainable_on_backbone(self):
+        backbone = TransformerBackbone(d_model=16, num_layers=2, num_heads=2, lora_rank=4)
+        mark_only_lora_trainable(backbone)
+        for name, param in backbone.named_parameters():
+            expected = name.endswith("lora_a") or name.endswith("lora_b")
+            assert param.requires_grad == expected
+        assert len(list(iter_lora_layers(backbone))) == 2 * 6  # 4 attn + 2 mlp per block
+
+    def test_lora_training_reduces_loss_with_frozen_base(self):
+        rng = np.random.default_rng(0)
+        layer = LoRALinear(8, 1, rank=4, alpha=8.0)
+        x = rng.normal(size=(64, 8))
+        true_w = rng.normal(size=(8, 1))
+        y = x @ true_w
+        optimizer = Adam(layer.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(150):
+            pred = layer(Tensor(x))
+            loss = mse_loss(pred, Tensor(y))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.5
+        # The frozen base weight must not have moved.
+        assert not layer.weight.requires_grad
+
+
+class TestOptimizers:
+    def _fit(self, optimizer_factory, steps=200):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 4))
+        w_true = np.array([[1.0], [-2.0], [0.5], [3.0]])
+        y = x @ w_true
+        model = Linear(4, 1)
+        optimizer = optimizer_factory(model.parameters())
+        first = None
+        for _ in range(steps):
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if first is None:
+                first = float(loss.data)
+        return first, float(loss.data)
+
+    def test_sgd_converges(self):
+        first, last = self._fit(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert last < first * 0.05
+
+    def test_adam_converges(self):
+        first, last = self._fit(lambda p: Adam(p, lr=0.05))
+        assert last < first * 0.05
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        lin = Linear(3, 3)
+        lin.weight.data = np.ones((3, 3)) * 5
+        optimizer = Adam(lin.parameters(), lr=0.1, weight_decay=0.5)
+        loss = (lin(Tensor(np.zeros((1, 3)))) * 0.0).sum()
+        loss.backward()
+        optimizer.step()
+        assert np.all(np.abs(lin.weight.data) < 5)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=1e-3)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(Linear(2, 2).parameters(), lr=0.0)
+
+    def test_optimizer_state_size_reported(self):
+        lin = Linear(4, 4)
+        optimizer = Adam(lin.parameters(), lr=1e-3)
+        loss = lin(Tensor(np.ones((1, 4)))).sum()
+        loss.backward()
+        optimizer.step()
+        assert optimizer.state_size_bytes() > 0
+
+    def test_clip_grad_norm(self):
+        lin = Linear(4, 4)
+        (lin(Tensor(np.ones((8, 4)))) * 100.0).sum().backward()
+        norm_before = clip_grad_norm(lin.parameters(), max_norm=1.0)
+        assert norm_before > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in lin.parameters()))
+        assert total <= 1.0 + 1e-6
+
+    def test_cosine_schedule_decays(self):
+        lin = Linear(2, 2)
+        optimizer = Adam(lin.parameters(), lr=1.0)
+        schedule = CosineSchedule(optimizer, base_lr=1.0, total_steps=10, warmup_steps=2,
+                                  min_lr=0.1)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] < lrs[1]            # warmup increases
+        assert lrs[-1] == pytest.approx(0.1, abs=0.05)  # decays toward min_lr
+        assert max(lrs) <= 1.0 + 1e-9
+
+    def test_cosine_schedule_validation(self):
+        lin = Linear(2, 2)
+        optimizer = Adam(lin.parameters(), lr=1.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(optimizer, base_lr=1.0, total_steps=0)

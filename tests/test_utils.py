@@ -1,0 +1,102 @@
+"""Tests for shared utilities: RNG, statistics, timers."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils import (
+    RunningStats,
+    Timer,
+    empirical_cdf,
+    normalize_min_max,
+    percentile,
+    seeded_rng,
+    spawn_rngs,
+    summarize,
+)
+
+
+class TestRNG:
+    def test_seeded_rng_deterministic(self):
+        assert seeded_rng(3).integers(0, 100) == seeded_rng(3).integers(0, 100)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert seeded_rng(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 10**6) != b.integers(0, 10**6)
+
+    def test_spawn_rngs_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestStats:
+    def test_running_stats_matches_numpy(self):
+        values = np.random.default_rng(0).normal(size=100)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.std == pytest.approx(values.std(ddof=0), rel=1e-2)
+        assert stats.minimum == pytest.approx(values.min())
+        assert stats.maximum == pytest.approx(values.max())
+        assert stats.as_dict()["count"] == 100
+
+    def test_empirical_cdf_monotone(self):
+        xs, cdf = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cdf, [1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        xs, cdf = empirical_cdf([])
+        assert xs.size == 0 and cdf.size == 0
+
+    def test_percentile(self):
+        assert percentile(range(101), 90) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_normalize_min_max(self):
+        normalized = normalize_min_max({"a": 0.0, "b": 5.0, "c": 10.0})
+        assert normalized == {"a": 0.0, "b": 0.5, "c": 1.0}
+        assert normalize_min_max({"a": 3.0, "b": 3.0}) == {"a": 0.5, "b": 0.5}
+        assert normalize_min_max({}) == {}
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert {"mean", "std", "p50", "p90", "min", "max", "count"} <= set(summary)
+        assert summarize([]) == {"count": 0}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+                    max_size=50))
+    def test_property_cdf_reaches_one(self, values):
+        _, cdf = empirical_cdf(values)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+
+class TestTimer:
+    def test_named_segments_accumulate(self):
+        timer = Timer()
+        timer.start("a")
+        time.sleep(0.01)
+        timer.stop("a")
+        timer.start("a")
+        time.sleep(0.01)
+        timer.stop("a")
+        assert timer.total("a") >= 0.02
+        assert timer.total() >= timer.total("a")
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(KeyError):
+            Timer().stop("missing")
+
+    def test_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.004

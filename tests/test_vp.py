@@ -1,0 +1,180 @@
+"""Tests for the viewport-prediction substrate: datasets, metric, baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vp import (
+    DATASET_SPECS,
+    SALIENCY_SIZE,
+    VP_SETTINGS,
+    LinearRegressionPredictor,
+    VPSample,
+    VelocityPredictor,
+    ViewportDataset,
+    evaluate_predictor,
+    make_vp_data,
+    mean_absolute_error,
+    train_track,
+)
+
+
+class TestSettings:
+    def test_table2_rows_present(self):
+        assert set(VP_SETTINGS) == {"default_train", "default_test", "unseen_setting1",
+                                    "unseen_setting2", "unseen_setting3"}
+
+    def test_window_steps_follow_sample_rate(self):
+        default = VP_SETTINGS["default_test"]
+        assert default.history_steps == 10   # 2 s at 5 Hz
+        assert default.prediction_steps == 20  # 4 s at 5 Hz
+
+    def test_unseen_settings_change_dataset_or_windows(self):
+        default = VP_SETTINGS["default_test"]
+        assert VP_SETTINGS["unseen_setting1"].prediction_seconds > default.prediction_seconds
+        assert VP_SETTINGS["unseen_setting2"].dataset != default.dataset
+
+
+class TestDataset:
+    def test_trace_generation_shapes(self):
+        dataset = ViewportDataset("jin2022", seed=0, num_videos=2, num_viewers=3,
+                                  video_seconds=20)
+        assert len(dataset.traces) == 6
+        trace = dataset.traces[0]
+        assert trace.viewports.shape == (100, 3)  # 20 s * 5 Hz
+
+    def test_pitch_and_roll_bounded(self):
+        dataset = ViewportDataset("jin2022", seed=1, num_videos=2, num_viewers=2,
+                                  video_seconds=30)
+        for trace in dataset.traces:
+            assert np.all(np.abs(trace.viewports[:, 0]) <= 20.0)   # roll
+            assert np.all(np.abs(trace.viewports[:, 1]) <= 45.0)   # pitch
+
+    def test_saliency_maps_normalized(self):
+        dataset = ViewportDataset("wu2017", seed=0, num_videos=2, num_viewers=2,
+                                  video_seconds=20)
+        for video in dataset.videos:
+            assert video.saliency.shape == (SALIENCY_SIZE, SALIENCY_SIZE)
+            assert 0.0 <= video.saliency.min() and video.saliency.max() == pytest.approx(1.0)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            ViewportDataset("jin2099")
+
+    def test_split_by_viewer_is_disjoint(self):
+        dataset = ViewportDataset("jin2022", seed=0, num_videos=2, num_viewers=6,
+                                  video_seconds=20)
+        train, val, test = dataset.split_traces(seed=0)
+        train_viewers = {t.viewer_id for t in train}
+        test_viewers = {t.viewer_id for t in test}
+        assert train_viewers.isdisjoint(test_viewers)
+        assert len(train) + len(val) + len(test) == len(dataset.traces)
+
+    def test_split_fraction_validation(self):
+        dataset = ViewportDataset("jin2022", seed=0, num_videos=1, num_viewers=2,
+                                  video_seconds=20)
+        with pytest.raises(ValueError):
+            dataset.split_traces(fractions=(0.5, 0.2, 0.2))
+
+    def test_windowing_shapes_and_counts(self, vp_data):
+        setting, train, test = vp_data
+        assert train and test
+        sample = train[0]
+        assert sample.history.shape == (setting.history_steps, 3)
+        assert sample.future.shape == (setting.prediction_steps, 3)
+        assert sample.saliency is not None
+
+    def test_windowing_respects_max_samples(self):
+        setting = VP_SETTINGS["default_test"]
+        dataset = ViewportDataset("jin2022", seed=0, num_videos=2, num_viewers=4,
+                                  video_seconds=30)
+        traces, _, _ = dataset.split_traces(seed=0)
+        samples = dataset.windows_from_traces(traces, setting, stride_steps=2, max_samples=10)
+        assert len(samples) == 10
+
+    def test_make_vp_data_returns_train_and_test(self):
+        train, test = make_vp_data(VP_SETTINGS["default_test"], seed=0, num_videos=2,
+                                   num_viewers=4, video_seconds=20)
+        assert train and test
+
+    def test_determinism_with_same_seed(self):
+        a = ViewportDataset("jin2022", seed=5, num_videos=1, num_viewers=2, video_seconds=20)
+        b = ViewportDataset("jin2022", seed=5, num_videos=1, num_viewers=2, video_seconds=20)
+        np.testing.assert_allclose(a.traces[0].viewports, b.traces[0].viewports)
+
+    def test_wu2017_more_dynamic_than_jin2022(self):
+        """Unseen dataset should be harder (larger motion), as intended by Table 2."""
+        assert DATASET_SPECS["wu2017"].saccade_prob > DATASET_SPECS["jin2022"].saccade_prob
+
+
+class TestMetric:
+    def test_mae_zero_for_perfect_prediction(self):
+        future = np.ones((5, 3))
+        assert mean_absolute_error(future, future) == 0.0
+
+    def test_mae_known_value(self):
+        pred = np.zeros((2, 3))
+        actual = np.ones((2, 3)) * 3.0
+        assert mean_absolute_error(pred, actual) == pytest.approx(3.0)
+
+    def test_mae_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            VPSample(history=np.zeros((5, 2)), future=np.zeros((5, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_property_mae_equals_constant_offset(self, offset):
+        base = np.zeros((4, 3))
+        assert mean_absolute_error(base + offset, base) == pytest.approx(offset)
+
+
+class TestBaselines:
+    def test_linear_regression_extrapolates_line(self):
+        steps = 10
+        history = np.column_stack([np.arange(steps) * 2.0,
+                                   np.arange(steps) * -1.0,
+                                   np.full(steps, 5.0)])
+        sample = VPSample(history=history, future=np.zeros((4, 3)))
+        prediction = LinearRegressionPredictor(4).predict(sample)
+        np.testing.assert_allclose(prediction[:, 0], [20.0, 22.0, 24.0, 26.0], atol=1e-8)
+        np.testing.assert_allclose(prediction[:, 2], np.full(4, 5.0), atol=1e-8)
+
+    def test_velocity_extrapolates_constant_speed(self):
+        history = np.column_stack([np.arange(5) * 1.0, np.zeros(5), np.zeros(5)])
+        sample = VPSample(history=history, future=np.zeros((3, 3)))
+        prediction = VelocityPredictor(3).predict(sample)
+        np.testing.assert_allclose(prediction[:, 0], [5.0, 6.0, 7.0], atol=1e-8)
+
+    def test_velocity_handles_single_sample_history(self):
+        sample = VPSample(history=np.ones((1, 3)), future=np.zeros((2, 3)))
+        prediction = VelocityPredictor(2).predict(sample)
+        np.testing.assert_allclose(prediction, np.ones((2, 3)))
+
+    def test_predictor_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegressionPredictor(0)
+        with pytest.raises(ValueError):
+            VelocityPredictor(0)
+
+    def test_track_training_reduces_loss_and_beats_naive(self, vp_data):
+        setting, train, test = vp_data
+        track, result = train_track(train, setting.prediction_steps, epochs=4, seed=0)
+        assert result.losses[-1] < result.losses[0]
+        track_mae = evaluate_predictor(track, test)["mae"]
+        lr_mae = evaluate_predictor(LinearRegressionPredictor(setting.prediction_steps), test)["mae"]
+        # The learned baseline should beat naive extrapolation on this data.
+        assert track_mae < lr_mae
+
+    def test_track_requires_samples(self):
+        with pytest.raises(ValueError):
+            train_track([], prediction_steps=4)
+
+    def test_evaluate_predictor_returns_per_sample_errors(self, vp_data):
+        setting, _, test = vp_data
+        result = evaluate_predictor(VelocityPredictor(setting.prediction_steps), test[:5])
+        assert len(result["per_sample_mae"]) == 5
+        assert result["mae"] == pytest.approx(np.mean(result["per_sample_mae"]))

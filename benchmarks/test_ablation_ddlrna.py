@@ -16,6 +16,9 @@ from repro.abr import BBAPolicy, MPCPolicy, OracleMPCPolicy
 from repro.core import adapt_abr, adapt_vp, collect_abr_experience
 from repro.llm import build_llm
 from repro.vp import evaluate_predictor
+import pytest
+
+pytestmark = pytest.mark.slow
 
 LORA_RANKS = (2, 4, 8)
 

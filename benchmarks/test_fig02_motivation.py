@@ -21,6 +21,9 @@ from conftest import print_table, save_results
 from repro.core import PromptLearningVP
 from repro.llm import build_llm
 from repro.vp import VP_SETTINGS, ViewportDataset, evaluate_predictor, train_track
+import pytest
+
+pytestmark = pytest.mark.slow
 
 #: Figure 2 uses hw = pw = 1 second (§A.1).
 HISTORY_SECONDS = 1.0

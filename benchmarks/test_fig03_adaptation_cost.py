@@ -27,6 +27,9 @@ from repro.core import (
     profile_rl_adaptation,
 )
 from repro.llm import build_llm
+import pytest
+
+pytestmark = pytest.mark.slow
 
 #: Reduced iteration counts (the paper uses 10000 ABR / 100 CJS iterations).
 ABR_ITERATIONS = 6

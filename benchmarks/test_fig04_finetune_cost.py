@@ -15,6 +15,9 @@ from conftest import print_table, save_results
 
 from repro.core import VPAdapter, adapt_prediction, finetune_memory_bytes
 from repro.llm import build_llm
+import pytest
+
+pytestmark = pytest.mark.slow
 
 STEPS = 25
 

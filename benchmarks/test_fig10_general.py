@@ -15,6 +15,9 @@ from conftest import print_table, save_results
 
 from repro.core import evaluate_abr_policies, evaluate_cjs_schedulers, evaluate_vp_methods
 from repro.utils import percentile
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig10a_vp_average(benchmark, vp_bench_data, vp_netllm):

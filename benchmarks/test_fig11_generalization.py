@@ -10,6 +10,9 @@ import numpy as np
 from conftest import print_table, save_results
 
 from repro.core import evaluate_abr_policies, evaluate_cjs_schedulers, evaluate_vp_methods
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig11a_vp_generalization(benchmark, vp_bench_data, vp_netllm):

@@ -14,6 +14,9 @@ from conftest import print_table, save_results
 
 from repro.core import evaluate_abr_policies
 from repro.utils import normalize_min_max
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig12_qoe_factor_breakdown(benchmark, abr_bench, abr_policies, abr_netllm):

@@ -20,6 +20,9 @@ from conftest import print_table, save_results
 from repro.core import adapt_vp
 from repro.llm import build_llm
 from repro.vp import evaluate_predictor
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig13_pretrained_and_domain_knowledge(benchmark, scale, vp_bench_data):

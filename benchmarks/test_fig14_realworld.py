@@ -12,6 +12,9 @@ network types; all methods score lower on cellular than on broadband.
 from conftest import print_table, save_results
 
 from repro.abr import EmulationConfig, REALWORLD_NETWORKS, run_realworld_test
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig14_realworld_emulation(benchmark, scale, abr_bench, abr_policies, abr_netllm):

@@ -15,6 +15,9 @@ from conftest import print_table, save_results
 from repro.core import adapt_vp
 from repro.llm import build_llm
 from repro.vp import LinearRegressionPredictor, evaluate_predictor, train_track
+import pytest
+
+pytestmark = pytest.mark.slow
 
 FAMILIES = ("opt-7b-sim", "mistral-7b-sim", "llava-7b-sim", "llama2-7b-sim")
 

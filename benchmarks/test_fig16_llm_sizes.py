@@ -18,6 +18,9 @@ from conftest import print_table, save_results
 from repro.core import adapt_vp
 from repro.llm import build_llm, get_config
 from repro.vp import LinearRegressionPredictor, VelocityPredictor, evaluate_predictor, train_track
+import pytest
+
+pytestmark = pytest.mark.slow
 
 SIZES = ("opt-0.35b-sim", "opt-1.3b-sim", "opt-2.7b-sim", "opt-7b-sim", "opt-13b-sim")
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..llm import LanguageModel
-from ..nn import Embedding, LayerNorm, Linear, Module, Tensor, concatenate, stack
+from ..nn import Embedding, LayerNorm, Linear, Module, Tensor, concatenate, no_grad, stack
 from .encoder import ImageEncoder, ScalarEncoder, TimeSeriesEncoder, TokenProjector
 from .heads import ABRHead, CJSHead, VPHead
 
@@ -114,7 +114,8 @@ class VPAdapter(NetLLMAdapter):
         """Predict for a single :class:`~repro.vp.task.VPSample` (inference API)."""
         self.eval()
         saliency = sample.saliency[None, ...] if (self.use_saliency and sample.saliency is not None) else None
-        prediction = self.forward(sample.history[None, ...], saliency)
+        with no_grad():
+            prediction = self.forward(sample.history[None, ...], saliency)
         return prediction.data[0]
 
 
@@ -225,9 +226,10 @@ class DecisionAdapter(NetLLMAdapter):
         steps (the action for the last step is a placeholder and unused).
         """
         self.eval()
-        batch = DecisionBatch(returns=returns[None, ...], states=states[None, ...],
-                              actions=actions[None, ...])
-        logits_list = self.forward(batch)
+        with no_grad():
+            batch = DecisionBatch(returns=returns[None, ...], states=states[None, ...],
+                                  actions=actions[None, ...])
+            logits_list = self.forward(batch)
         chosen: List[int] = []
         for component, logits in enumerate(logits_list):
             scores = logits.data[0, -1, :].copy()

@@ -45,6 +45,7 @@ from ..cjs import (
 )
 from ..cjs.env import MAX_CANDIDATES, PARALLELISM_FRACTIONS, observation_size
 from ..llm import LanguageModel, build_llm
+from ..nn import no_grad
 from ..vp import (
     VP_SETTINGS,
     LinearRegressionPredictor,
@@ -106,12 +107,13 @@ def evaluate_vp_methods(setting: VPSetting, train_samples: Sequence, test_sample
     results: Dict[str, Dict] = {}
     lr_pred = LinearRegressionPredictor(setting.prediction_steps)
     velocity = VelocityPredictor(setting.prediction_steps)
-    results["LR"] = evaluate_predictor(lr_pred, test_samples)
-    results["Velocity"] = evaluate_predictor(velocity, test_samples)
     track, _ = train_track(train_samples, setting.prediction_steps, epochs=track_epochs, seed=seed)
-    results["TRACK"] = evaluate_predictor(track, test_samples)
-    if netllm is not None:
-        results["NetLLM"] = evaluate_predictor(netllm, test_samples)
+    with no_grad():
+        results["LR"] = evaluate_predictor(lr_pred, test_samples)
+        results["Velocity"] = evaluate_predictor(velocity, test_samples)
+        results["TRACK"] = evaluate_predictor(track, test_samples)
+        if netllm is not None:
+            results["NetLLM"] = evaluate_predictor(netllm, test_samples)
     return results
 
 
@@ -185,10 +187,12 @@ def evaluate_abr_policies(policies: Dict[str, object], video, traces, sim_config
     for name, policy in policies.items():
         qoes: List[float] = []
         breakdowns: List[Dict[str, float]] = []
-        for index, trace in enumerate(traces):
-            session = simulate_session(policy, video, trace, config=sim_config, seed=seed + index)
-            qoes.append(session.qoe())
-            breakdowns.append(session.breakdown())
+        with no_grad():
+            for index, trace in enumerate(traces):
+                session = simulate_session(policy, video, trace, config=sim_config,
+                                           seed=seed + index)
+                qoes.append(session.qoe())
+                breakdowns.append(session.breakdown())
         results[name] = {
             "qoe": float(np.mean(qoes)),
             "per_trace_qoe": qoes,
@@ -267,10 +271,11 @@ def evaluate_cjs_schedulers(schedulers: Dict[str, object], workloads, num_execut
     for name, scheduler in schedulers.items():
         jcts: List[float] = []
         per_workload: List[float] = []
-        for jobs in workloads:
-            outcome = run_workload(scheduler, jobs, num_executors)
-            per_workload.append(outcome.average_jct)
-            jcts.extend(outcome.jcts.tolist())
+        with no_grad():
+            for jobs in workloads:
+                outcome = run_workload(scheduler, jobs, num_executors)
+                per_workload.append(outcome.average_jct)
+                jcts.extend(outcome.jcts.tolist())
         results[name] = {
             "jct": float(np.mean(per_workload)),
             "per_job_jct": jcts,

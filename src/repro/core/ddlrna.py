@@ -36,7 +36,7 @@ from ..cjs.env import (
     ordered_candidates,
 )
 from ..cjs.simulator import SchedulingContext, SchedulingDecision
-from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy
+from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy, no_grad
 from ..utils import Timer, seeded_rng
 from .adapter import DecisionAdapter, VPAdapter, DecisionBatch
 from .experience import ExperiencePool, Trajectory
@@ -160,6 +160,13 @@ def collect_abr_experience(policies: Dict[str, object], video, traces,
 
     state_dim = ABRObservation.flat_size(video.num_bitrates)
     pool = pool or ExperiencePool(state_dim=state_dim, action_dims=(video.num_bitrates,))
+    with no_grad():
+        _collect_abr_rollouts(policies, video, traces, pool, sim_config, seed)
+    return pool
+
+
+def _collect_abr_rollouts(policies, video, traces, pool, sim_config, seed: int) -> None:
+    """Rollout loop of :func:`collect_abr_experience` (runs under no_grad)."""
     for name, policy in policies.items():
         for index, trace in enumerate(traces):
             session = StreamingSession(video, trace, config=sim_config, seed=seed + index)
@@ -181,7 +188,6 @@ def collect_abr_experience(policies: Dict[str, object], video, traces,
                 rewards.append(reward)
             pool.add(Trajectory(states=np.stack(states), actions=np.asarray(actions),
                                 rewards=np.asarray(rewards), policy_name=name))
-    return pool
 
 
 def collect_cjs_experience(policies: Dict[str, object], workloads, num_executors: int,
@@ -191,15 +197,16 @@ def collect_cjs_experience(policies: Dict[str, object], workloads, num_executors
 
     pool = pool or ExperiencePool(state_dim=observation_size(),
                                   action_dims=(MAX_CANDIDATES, len(PARALLELISM_FRACTIONS)))
-    for name, policy in policies.items():
-        for jobs in workloads:
-            trajectory = collect_trajectory(policy, jobs, num_executors)
-            states = np.stack([t.observation for t in trajectory.transitions])
-            actions = np.stack([[t.candidate_index, t.parallelism_bucket]
-                                for t in trajectory.transitions])
-            rewards = np.asarray([t.reward for t in trajectory.transitions])
-            pool.add(Trajectory(states=states, actions=actions, rewards=rewards,
-                                policy_name=name))
+    with no_grad():
+        for name, policy in policies.items():
+            for jobs in workloads:
+                trajectory = collect_trajectory(policy, jobs, num_executors)
+                states = np.stack([t.observation for t in trajectory.transitions])
+                actions = np.stack([[t.candidate_index, t.parallelism_bucket]
+                                    for t in trajectory.transitions])
+                rewards = np.asarray([t.reward for t in trajectory.transitions])
+                pool.add(Trajectory(states=states, actions=actions, rewards=rewards,
+                                    policy_name=name))
     return pool
 
 

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..nn import Adam, Module, Tensor
+from ..nn import Adam, Module, Tensor, no_grad
 from ..utils import Timer
 
 #: Bytes of training state per parameter for Adam-style optimizers:
@@ -127,12 +127,17 @@ class InferenceOverhead:
 def profile_inference(label: str, module: Module, infer_fn: Callable[[], None],
                       repetitions: int = 20, simulated_param_count: float = 0.0
                       ) -> InferenceOverhead:
-    """Measure per-answer latency of ``infer_fn`` and the model's memory footprint."""
+    """Measure per-answer latency of ``infer_fn`` and the model's memory footprint.
+
+    ``infer_fn`` runs under :func:`~repro.nn.no_grad`, matching how the
+    adapted model is deployed (no autograd bookkeeping at inference).
+    """
     latencies: List[float] = []
-    for _ in range(repetitions):
-        start = time.perf_counter()
-        infer_fn()
-        latencies.append(time.perf_counter() - start)
+    with no_grad():
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            infer_fn()
+            latencies.append(time.perf_counter() - start)
     memory = int(sum(p.data.nbytes for p in module.parameters()))
     return InferenceOverhead(
         label=label,

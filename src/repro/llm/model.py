@@ -24,6 +24,7 @@ import numpy as np
 
 from ..nn import (
     Embedding,
+    KVCache,
     LayerNorm,
     Linear,
     Module,
@@ -72,6 +73,26 @@ class LanguageModel(Module):
             token_ids = token_ids[None, :]
         embeddings = self.token_embedding(token_ids)
         features = self.backbone(embeddings, causal=True)
+        return self.lm_head(features)
+
+    def init_cache(self) -> KVCache:
+        """Fresh KV cache for incremental decoding (one slot per block)."""
+        return self.backbone.init_cache()
+
+    def forward_incremental(self, token_ids: np.ndarray, cache: KVCache) -> Tensor:
+        """Next-token logits for the *new* tokens only, using the KV cache.
+
+        ``token_ids`` holds the tokens that follow the positions already in
+        ``cache`` (the whole prompt on the first call, usually a single token
+        afterwards).  The cache is updated in place; the returned logits cover
+        only the new positions and match :meth:`forward_tokens` on the full
+        window to machine precision.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        embeddings = self.token_embedding(token_ids)
+        features = self.backbone(embeddings, causal=True, cache=cache)
         return self.lm_head(features)
 
     def forward_embeddings(self, embeddings: Tensor, causal: bool = True) -> Tensor:

@@ -7,7 +7,17 @@ autograd tensor, standard layers (linear, layer norm, embedding, dropout,
 adapters, optimizers and checkpointing.
 """
 
-from .tensor import Tensor, concatenate, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    set_grad_enabled,
+    stack,
+    where,
+)
 from .functional import (
     clip_grad_norm,
     cross_entropy,
@@ -38,7 +48,7 @@ from .layers import (
     Tanh,
 )
 from .conv import Conv1D, PatchImageEncoder, TemporalConvEncoder
-from .attention import MultiHeadAttention, causal_mask
+from .attention import KVCache, LayerKVCache, MultiHeadAttention, causal_mask
 from .transformer import FeedForward, TransformerBackbone, TransformerBlock
 from .rnn import LSTM, LSTMCell
 from .gnn import GraphConv, GraphEncoder, normalized_adjacency
@@ -48,12 +58,14 @@ from .serialization import load_into, load_state_dict, save_state_dict
 
 __all__ = [
     "Tensor", "concatenate", "stack", "where",
+    "no_grad", "set_grad_enabled", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype",
     "clip_grad_norm", "cross_entropy", "dropout", "gelu", "huber_loss", "log_softmax",
     "mae_loss", "mse_loss", "one_hot", "relu", "sigmoid", "softmax", "tanh",
     "Dropout", "Embedding", "GELU", "LayerNorm", "Linear", "MLP", "Module", "ModuleList",
     "Parameter", "ReLU", "Sequential", "Tanh",
     "Conv1D", "PatchImageEncoder", "TemporalConvEncoder",
-    "MultiHeadAttention", "causal_mask",
+    "KVCache", "LayerKVCache", "MultiHeadAttention", "causal_mask",
     "FeedForward", "TransformerBackbone", "TransformerBlock",
     "LSTM", "LSTMCell",
     "GraphConv", "GraphEncoder", "normalized_adjacency",

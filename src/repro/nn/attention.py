@@ -1,25 +1,119 @@
-"""Multi-head self-attention used by the transformer backbone."""
+"""Multi-head self-attention used by the transformer backbone.
+
+Besides the classic full-sequence forward, this module implements the KV-cache
+fast path for autoregressive decoding: each layer keeps the key/value
+projections of every past position so that a decoding step only projects the
+*new* token(s) and attends against the cached history — O(T) per step instead
+of recomputing the whole O(T²) window.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .layers import Dropout, Linear, Module
 from .lora import LoRALinear
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, is_grad_enabled
 
 
-def causal_mask(length: int) -> np.ndarray:
+@lru_cache(maxsize=16)
+def _causal_mask_base(size: int, dtype_name: str) -> np.ndarray:
+    mask = np.zeros((size, size), dtype=np.dtype(dtype_name))
+    mask[np.triu_indices(size, k=1)] = -1e9
+    mask.setflags(write=False)  # shared across calls; must stay immutable
+    return mask
+
+
+def causal_mask(length: int, dtype=None) -> np.ndarray:
     """Return an additive causal mask of shape ``(length, length)``.
 
     Entries above the diagonal are a large negative value so that softmax
-    assigns (numerically) zero attention to future positions.
+    assigns (numerically) zero attention to future positions.  Returns a
+    read-only view into a cached power-of-two base mask, so cycling window
+    lengths (as full-window decoding does) never thrashes the cache.  Pass
+    the activations' dtype so a float32 model keeps float32 masks even when
+    the global default is float64.
     """
-    mask = np.zeros((length, length), dtype=np.float64)
-    mask[np.triu_indices(length, k=1)] = -1e9
-    return mask
+    dtype = get_default_dtype() if dtype is None else np.dtype(dtype)
+    size = max(64, 1 << max(0, length - 1).bit_length())
+    return _causal_mask_base(size, dtype.name)[:length, :length]
+
+
+class LayerKVCache:
+    """Cached key/value projections of one attention layer.
+
+    Arrays have shape ``(batch, num_heads, seq, head_dim)``.  Storage grows
+    geometrically so appending a token is amortized O(1) — no per-step O(T)
+    re-concatenation of the whole history.
+    """
+
+    __slots__ = ("_keys", "_values", "_length")
+
+    def __init__(self) -> None:
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._length = 0
+
+    @property
+    def seq_len(self) -> int:
+        return self._length
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        return None if self._keys is None else self._keys[:, :, :self._length]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        return None if self._values is None else self._values[:, :, :self._length]
+
+    def _grow(self, template: np.ndarray, needed: int) -> None:
+        batch, heads, _, head_dim = template.shape
+        current = 0 if self._keys is None else self._keys.shape[2]
+        capacity = max(16, needed, 2 * current)
+        keys = np.empty((batch, heads, capacity, head_dim), dtype=template.dtype)
+        values = np.empty_like(keys)
+        if self._length:
+            keys[:, :, :self._length] = self._keys[:, :, :self._length]
+            values[:, :, :self._length] = self._values[:, :, :self._length]
+        self._keys, self._values = keys, values
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append new-token projections; return the full cached (keys, values)."""
+        new = keys.shape[2]
+        if self._keys is None or self._length + new > self._keys.shape[2]:
+            self._grow(keys, self._length + new)
+        self._keys[:, :, self._length:self._length + new] = keys
+        self._values[:, :, self._length:self._length + new] = values
+        self._length += new
+        return self._keys[:, :, :self._length], self._values[:, :, :self._length]
+
+    def reset(self) -> None:
+        self._keys = None
+        self._values = None
+        self._length = 0
+
+
+class KVCache:
+    """Per-layer key/value cache for incremental transformer decoding."""
+
+    def __init__(self, num_layers: int) -> None:
+        self.layers: List[LayerKVCache] = [LayerKVCache() for _ in range(num_layers)]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def seq_len(self) -> int:
+        """Number of positions already cached (0 for a fresh cache)."""
+        return self.layers[0].seq_len if self.layers else 0
+
+    def reset(self) -> None:
+        for layer in self.layers:
+            layer.reset()
 
 
 class MultiHeadAttention(Module):
@@ -52,21 +146,67 @@ class MultiHeadAttention(Module):
         self.out_proj = make_proj()
         self.attn_dropout = Dropout(dropout)
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        """Apply self-attention to ``x`` of shape ``(batch, seq, d_model)``."""
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None,
+                layer_cache: Optional[LayerKVCache] = None) -> Tensor:
+        """Apply self-attention to ``x`` of shape ``(batch, seq, d_model)``.
+
+        When ``layer_cache`` is given the input holds only the *new* tokens;
+        their key/value projections are appended to the cache and attention
+        runs against the full cached history (inference-only: attention
+        dropout is skipped and no gradients flow through the cached past).
+        """
+        if layer_cache is not None:
+            if mask is not None:
+                raise ValueError("custom masks are not supported with a KV cache; "
+                                 "cached attention is always causal")
+            return self._forward_cached(x, layer_cache)
         batch, seq, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, seq)
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
 
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / float(np.sqrt(self.head_dim)))
         if mask is not None:
-            scores = scores + Tensor(mask)
+            scores = scores + Tensor(mask, dtype=mask.dtype)
         weights = scores.softmax(axis=-1)
         weights = self.attn_dropout(weights)
         context = weights @ v
         merged = context.swapaxes(1, 2).reshape(batch, seq, self.d_model)
         return self.out_proj(merged)
+
+    def _forward_cached(self, x: Tensor, layer_cache: LayerKVCache) -> Tensor:
+        """Single/few-token decoding step against the cached keys/values.
+
+        The computation mirrors the full forward exactly (same projection
+        kernels, same numerically stable softmax), so incremental logits match
+        the full-window forward to machine precision.
+        """
+        if is_grad_enabled():
+            raise RuntimeError(
+                "KV-cached attention is inference-only and would silently "
+                "detach gradients; wrap the call in no_grad()")
+        if self.training and self.attn_dropout.p > 0:
+            raise RuntimeError(
+                "KV-cached attention skips attention dropout and would "
+                "diverge from the full forward; call eval() first")
+        batch, new, _ = x.shape
+        past = layer_cache.seq_len
+        q = self._split_heads(self.q_proj(x), batch, new).data
+        k = self._split_heads(self.k_proj(x), batch, new).data
+        v = self._split_heads(self.v_proj(x), batch, new).data
+        keys, values = layer_cache.append(k, v)
+
+        scores = (q @ np.swapaxes(keys, -1, -2)) * (1.0 / float(np.sqrt(self.head_dim)))
+        if new > 1:
+            # New token i (global position past+i) may only attend to <= past+i.
+            total = past + new
+            scores = scores + causal_mask(total, scores.dtype)[past:total, :]
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        context = weights @ values
+        merged = np.swapaxes(context, 1, 2).reshape(batch, new, self.d_model)
+        return self.out_proj(Tensor(merged, dtype=merged.dtype))
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         return x.reshape(batch, seq, self.num_heads, self.head_dim).swapaxes(1, 2)

@@ -15,7 +15,7 @@ import numpy as np
 
 from . import init as weight_init
 from .layers import Linear, Module, Parameter, ReLU, Sequential
-from .tensor import Tensor, concatenate, stack
+from .tensor import Tensor, concatenate, get_default_dtype, stack
 
 
 class Conv1D(Module):
@@ -132,7 +132,7 @@ class PatchImageEncoder(Module):
 
     def _to_patches(self, images: np.ndarray) -> np.ndarray:
         """Reshape ``(batch, H, W[, C])`` images into flattened patches."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim == 3:
             images = images[..., None]
         batch, height, width, channels = images.shape

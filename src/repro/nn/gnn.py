@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .layers import Linear, Module, ReLU, Sequential
-from .tensor import Tensor, concatenate
+from .tensor import Tensor, concatenate, get_default_dtype
 
 
 def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
@@ -25,7 +25,7 @@ def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> 
     node's neighbours, which keeps activations well-scaled regardless of node
     degree.
     """
-    adjacency = np.asarray(adjacency, dtype=np.float64)
+    adjacency = np.asarray(adjacency, dtype=get_default_dtype())
     if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
         raise ValueError("adjacency must be a square matrix")
     matrix = adjacency.copy()

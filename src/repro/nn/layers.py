@@ -115,7 +115,10 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {name}: {own[name].data.shape} vs {value.shape}"
                     )
-                own[name].data = np.asarray(value, dtype=np.float64).copy()
+                # Cast to the receiving parameter's own dtype, not the global
+                # default: a float64 model must stay float64 even if the
+                # process has switched the default to float32 for inference.
+                own[name].data = np.asarray(value, dtype=own[name].data.dtype).copy()
 
     # -- call ------------------------------------------------------------- #
     def forward(self, *args, **kwargs):

@@ -13,7 +13,7 @@ import numpy as np
 
 from . import init as weight_init
 from .layers import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 
 class LoRALinear(Module):
@@ -79,6 +79,16 @@ class LoRALinear(Module):
 
     # ------------------------------------------------------------------ #
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Inference fast path: same operations in the same order as the
+            # graph path (bitwise-identical results), but in raw numpy so no
+            # intermediate Tensor objects are allocated per projection.
+            out = x.data @ self.weight.data
+            if self._lora_enabled:
+                out = out + ((x.data @ self.lora_a.data) @ self.lora_b.data) * self.scale
+            if self.use_bias:
+                out = out + self.bias.data
+            return Tensor(out, dtype=out.dtype)
         out = x @ self.weight
         if self._lora_enabled:
             out = out + (x @ self.lora_a @ self.lora_b) * self.scale

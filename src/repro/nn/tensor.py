@@ -5,6 +5,18 @@ This module provides the :class:`Tensor` class, the foundation of the
 graph: every operation records a backward closure, and :meth:`Tensor.backward`
 walks the graph in reverse topological order accumulating gradients.
 
+Two global switches control the cost of the substrate:
+
+* **Gradient mode** — inside :func:`no_grad` (or after
+  ``set_grad_enabled(False)``) operations skip all graph bookkeeping: no
+  backward closures are created, no ``_prev`` edges are recorded and results
+  never require grad.  Pure-inference code (rollout collection, evaluation,
+  autoregressive decoding) runs through exactly the same numpy kernels but
+  without paying the autograd tax.
+* **Default dtype** — :func:`set_default_dtype` selects the floating-point
+  precision (``float64`` by default, ``float32`` for faster inference) used
+  whenever data enters the tensor world through :func:`_as_array`.
+
 The implementation is intentionally dependency-free (numpy only) because the
 reproduction environment does not provide PyTorch.  It supports the operations
 needed by the NetLLM reproduction: broadcasting arithmetic, matrix
@@ -14,14 +26,87 @@ activations and normalization primitives.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
+# ---------------------------------------------------------------------- #
+# Global autograd / dtype state
+# ---------------------------------------------------------------------- #
+_GRAD_ENABLED: bool = True
+_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record a computation graph."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Globally enable/disable autograd recording; returns the previous mode."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+class no_grad:
+    """Context manager (and decorator) that disables autograd recording.
+
+    Operations executed inside the context produce tensors with no backward
+    closures and no ``_prev`` edges; calling :meth:`Tensor.backward` on such a
+    result raises a :class:`RuntimeError`.  Nesting is supported and the prior
+    mode is restored on exit.  Both decorator spellings work: ``@no_grad``
+    and ``@no_grad()``.
+    """
+
+    def __new__(cls, fn: Optional[Callable] = None):
+        if fn is not None:  # bare @no_grad usage: delegate to @no_grad()
+            return super().__new__(cls)(fn)
+        return super().__new__(cls)
+
+    def __enter__(self) -> "no_grad":
+        self._previous = set_grad_enabled(False)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        set_grad_enabled(self._previous)
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with (float64 by default)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the floating-point dtype for new tensors; returns the previous one.
+
+    Only ``float32`` and ``float64`` make sense for this substrate; lower
+    precisions are rejected because numpy falls back to slow software paths.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    dtype = _DEFAULT_DTYPE if dtype is None else dtype
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
@@ -55,11 +140,12 @@ class Tensor:
         requires_grad: bool = False,
         _prev: Tuple["Tensor", ...] = (),
         name: str = "",
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[], None] = lambda: None
+        self._backward: Callable[[], None] = _noop_backward
         self._prev: Tuple[Tensor, ...] = _prev
         self.name = name
 
@@ -97,11 +183,15 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, got shape {self.shape}"
+            )
+        return float(self.data.reshape(()))
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a new tensor sharing data (and dtype) but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -116,11 +206,32 @@ class Tensor:
             self.grad = self.grad + grad
 
     @staticmethod
-    def _ensure(other: ArrayLike) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+    def _ensure(other: ArrayLike, dtype=None) -> "Tensor":
+        """Wrap non-tensor operands; ``dtype`` lets binary ops keep scalar
+        constants in the tensor's own dtype rather than the global default."""
+        return other if isinstance(other, Tensor) else Tensor(other, dtype=dtype)
+
+    def _make(self, data: np.ndarray, requires_grad: bool,
+              prev: Tuple["Tensor", ...]) -> Tuple["Tensor", bool]:
+        """Build an op result, recording graph edges only when grad is on.
+
+        Returns ``(out, record)``; callers attach a backward closure only when
+        ``record`` is true, so pure inference creates no closures at all.
+        The result keeps numpy's computed dtype (a float64 model stays float64
+        even after the global default switches to float32).
+        """
+        record = _GRAD_ENABLED and requires_grad
+        if record:
+            return Tensor(data, requires_grad=True, _prev=prev, dtype=data.dtype), True
+        return Tensor(data, dtype=data.dtype), False
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError(
+                "backward() called on a tensor that does not require grad; "
+                "it was created with requires_grad=False or inside no_grad()"
+            )
         if grad is None:
             if self.data.size != 1:
                 raise ValueError("backward() without gradient requires a scalar tensor")
@@ -156,12 +267,12 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out = Tensor(
-            self.data + other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _prev=(self, other),
-        )
+        other = self._ensure(other, self.data.dtype)
+        out, record = self._make(self.data + other.data,
+                                 self.requires_grad or other.requires_grad,
+                                 (self, other))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None:
@@ -175,12 +286,12 @@ class Tensor:
         return out
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out = Tensor(
-            self.data * other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _prev=(self, other),
-        )
+        other = self._ensure(other, self.data.dtype)
+        out, record = self._make(self.data * other.data,
+                                 self.requires_grad or other.requires_grad,
+                                 (self, other))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None:
@@ -194,10 +305,10 @@ class Tensor:
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (self._ensure(other) * -1.0)
+        return self + (self._ensure(other, self.data.dtype) * -1.0)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        return self * self._ensure(other).pow(-1.0)
+        return self * self._ensure(other, self.data.dtype).pow(-1.0)
 
     def __neg__(self) -> "Tensor":
         return self * -1.0
@@ -209,17 +320,15 @@ class Tensor:
         return self * other
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure(other) - self
+        return self._ensure(other, self.data.dtype) - self
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure(other) / self
+        return self._ensure(other, self.data.dtype) / self
 
     def pow(self, exponent: float) -> "Tensor":
-        out = Tensor(
-            np.power(self.data, exponent),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-        )
+        out, record = self._make(np.power(self.data, exponent), self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -233,12 +342,12 @@ class Tensor:
         return self.pow(exponent)
 
     def matmul(self, other: "Tensor") -> "Tensor":
-        other = self._ensure(other)
-        out = Tensor(
-            self.data @ other.data,
-            requires_grad=self.requires_grad or other.requires_grad,
-            _prev=(self, other),
-        )
+        other = self._ensure(other, self.data.dtype)
+        out, record = self._make(self.data @ other.data,
+                                 self.requires_grad or other.requires_grad,
+                                 (self, other))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None:
@@ -261,7 +370,9 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -272,7 +383,9 @@ class Tensor:
         return out
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(np.log(self.data), self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -284,7 +397,9 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -296,7 +411,9 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -308,7 +425,9 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(self.data * mask, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -320,12 +439,15 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi)
+        # Python float, not np.float64 scalar: keeps float32 inputs float32.
+        c = float(np.sqrt(2.0 / np.pi))
         x = self.data
         inner = c * (x + 0.044715 * x ** 3)
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -340,7 +462,9 @@ class Tensor:
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
-        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(np.abs(self.data), self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -352,7 +476,9 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
-        out = Tensor(np.clip(self.data, low, high), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(np.clip(self.data, low, high), self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -366,11 +492,10 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = Tensor(
-            self.data.sum(axis=axis, keepdims=keepdims),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-        )
+        out, record = self._make(self.data.sum(axis=axis, keepdims=keepdims),
+                                 self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -399,7 +524,9 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -424,7 +551,9 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.shape
-        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(self.data.reshape(shape), self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -439,7 +568,9 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(self.data.transpose(axes), self.requires_grad, (self,))
+        if not record:
+            return out
         inverse = np.argsort(axes)
 
         def _backward() -> None:
@@ -456,7 +587,9 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor(self.data[index], requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(self.data[index], self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -470,7 +603,9 @@ class Tensor:
 
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad; ``pad_width`` follows :func:`numpy.pad` convention."""
-        out = Tensor(np.pad(self.data, pad_width), requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(np.pad(self.data, pad_width), self.requires_grad, (self,))
+        if not record:
+            return out
         slices = tuple(
             slice(before, before + dim) for (before, _), dim in zip(pad_width, self.shape)
         )
@@ -490,7 +625,9 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         out_data = exp / exp.sum(axis=axis, keepdims=True)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
@@ -505,7 +642,9 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        out, record = self._make(out_data, self.requires_grad, (self,))
+        if not record:
+            return out
         softmax = np.exp(out_data)
 
         def _backward() -> None:
@@ -518,6 +657,10 @@ class Tensor:
         return out
 
 
+def _noop_backward() -> None:
+    return None
+
+
 # ---------------------------------------------------------------------- #
 # Free functions operating on tensors
 # ---------------------------------------------------------------------- #
@@ -525,8 +668,10 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires_grad = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors))
+    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    if not requires_grad:
+        return Tensor(data, dtype=data.dtype)
+    out = Tensor(data, requires_grad=True, _prev=tuple(tensors), dtype=data.dtype)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -548,8 +693,10 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires_grad = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires_grad, _prev=tuple(tensors))
+    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    if not requires_grad:
+        return Tensor(data, dtype=data.dtype)
+    out = Tensor(data, requires_grad=True, _prev=tuple(tensors), dtype=data.dtype)
 
     def _backward() -> None:
         if out.grad is None:
@@ -568,11 +715,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = Tensor._ensure(a)
     b = Tensor._ensure(b)
     cond = np.asarray(condition, dtype=bool)
-    out = Tensor(
-        np.where(cond, a.data, b.data),
-        requires_grad=a.requires_grad or b.requires_grad,
-        _prev=(a, b),
-    )
+    data = np.where(cond, a.data, b.data)
+    requires_grad = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    if not requires_grad:
+        return Tensor(data, dtype=data.dtype)
+    out = Tensor(data, requires_grad=True, _prev=(a, b), dtype=data.dtype)
 
     def _backward() -> None:
         if out.grad is None:
@@ -588,4 +735,4 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 def no_grad_copy(tensor: Tensor) -> Tensor:
     """Deep copy of a tensor's data, detached from the graph."""
-    return Tensor(tensor.data.copy(), requires_grad=False)
+    return Tensor(tensor.data.copy(), requires_grad=False, dtype=tensor.data.dtype)

@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
-from .attention import MultiHeadAttention, causal_mask
+from .attention import KVCache, LayerKVCache, MultiHeadAttention, causal_mask
 from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
 from .lora import LoRALinear
 from .tensor import Tensor
+
+
+@lru_cache(maxsize=256)
+def _position_index(start: int, stop: int) -> np.ndarray:
+    index = np.arange(start, stop)
+    index.setflags(write=False)  # shared across calls; must stay immutable
+    return index
 
 
 class FeedForward(Module):
@@ -50,8 +58,9 @@ class TransformerBlock(Module):
         self.mlp = FeedForward(d_model, d_hidden, dropout=dropout,
                                lora_rank=lora_rank, lora_alpha=lora_alpha, rng=rng)
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attention(self.norm1(x), mask=mask)
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None,
+                layer_cache: Optional[LayerKVCache] = None) -> Tensor:
+        x = x + self.attention(self.norm1(x), mask=mask, layer_cache=layer_cache)
         x = x + self.mlp(self.norm2(x))
         return x
 
@@ -63,6 +72,11 @@ class TransformerBackbone(Module):
     *embeddings* (either token embeddings or the token-like embeddings emitted
     by the NetLLM multimodal encoder) and produces contextualized output
     features of the same dimension.
+
+    Autoregressive decoding should use :meth:`init_cache` plus the ``cache``
+    argument of :meth:`forward`: each call then consumes only the new token
+    embeddings and attends against the cached keys/values, turning O(T·L²)
+    full-window decoding into O(T·L).
     """
 
     def __init__(self, d_model: int, num_layers: int, num_heads: int,
@@ -85,15 +99,37 @@ class TransformerBackbone(Module):
         ])
         self.final_norm = LayerNorm(d_model)
 
-    def forward(self, embeddings: Tensor, causal: bool = True) -> Tensor:
-        """Run the backbone over ``(batch, seq, d_model)`` embeddings."""
+    def init_cache(self) -> KVCache:
+        """Return a fresh, empty KV cache sized for this backbone."""
+        return KVCache(len(self.blocks))
+
+    def forward(self, embeddings: Tensor, causal: bool = True,
+                cache: Optional[KVCache] = None) -> Tensor:
+        """Run the backbone over ``(batch, seq, d_model)`` embeddings.
+
+        With ``cache`` given, ``embeddings`` holds only the tokens that follow
+        the already-cached positions; positional embeddings are offset by the
+        cache length and the cache is updated in place.
+        """
         batch, seq, d_model = embeddings.shape
         if d_model != self.d_model:
             raise ValueError(f"expected embedding dim {self.d_model}, got {d_model}")
-        if seq > self.max_seq_len:
-            raise ValueError(f"sequence length {seq} exceeds maximum {self.max_seq_len}")
-        x = embeddings + self.position_embedding[np.arange(seq)]
-        mask = causal_mask(seq) if causal else None
+        past = cache.seq_len if cache is not None else 0
+        if past + seq > self.max_seq_len:
+            raise ValueError(f"sequence length {past + seq} exceeds maximum {self.max_seq_len}")
+        x = embeddings + self.position_embedding[_position_index(past, past + seq)]
+        if cache is not None:
+            if not causal:
+                raise ValueError("KV-cached decoding is inherently causal; "
+                                 "causal=False is not supported with a cache")
+            if cache.num_layers != len(self.blocks):
+                raise ValueError(
+                    f"cache has {cache.num_layers} layers but backbone has "
+                    f"{len(self.blocks)}; build it with init_cache()")
+            for block, layer_cache in zip(self.blocks, cache.layers):
+                x = block(x, layer_cache=layer_cache)
+            return self.final_norm(x)
+        mask = causal_mask(seq, x.dtype) if causal else None
         for block in self.blocks:
             x = block(x, mask=mask)
         return self.final_norm(x)

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Serving demo: mixed VP / ABR / CJS traffic through one inference engine.
+
+The NetLLM deployment story is many simultaneous sessions each issuing small
+per-step decisions.  This demo adapts a (tiny) foundation model for all three
+tasks, starts one :class:`repro.serve.InferenceServer`, and drives mixed
+traffic through it from three concurrent client threads:
+
+* a VP client submitting a burst of viewport predictions,
+* an ABR client streaming several video sessions in lockstep,
+* a CJS client scheduling a cluster workload event by event,
+
+plus a batch of streaming text-generation sessions decoded with continuous
+batching over the shared KV cache.  At the end the engine's stats report
+shows batch occupancy, queue depth and tail latency across the mixed load.
+
+Run:  python examples/serving_demo.py   (~1-2 minutes on a laptop CPU)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.abr import ABR_SETTINGS, build_setting
+from repro.cjs import CJS_SETTINGS, build_workload, run_workload
+from repro.core import adapt_abr, adapt_cjs, adapt_vp, build_inference_server
+from repro.llm import build_llm
+from repro.serve import LockstepABRDriver, SchedulerPolicy, ServedCJSScheduler
+from repro.vp import VP_SETTINGS, ViewportDataset
+
+
+def build_artifacts():
+    """Adapt the tiny foundation model for all three tasks (quick settings)."""
+    print("Adapting the foundation model for VP / ABR / CJS (tiny scale)...")
+    start = time.time()
+
+    vp_setting = VP_SETTINGS["default_test"]
+    dataset = ViewportDataset("jin2022", seed=0, num_videos=2, num_viewers=4,
+                              video_seconds=30.0)
+    train_traces, _, test_traces = dataset.split_traces(seed=0)
+    vp_train = dataset.windows_from_traces(train_traces, vp_setting, stride_steps=5)
+    vp_test = dataset.windows_from_traces(test_traces, vp_setting, stride_steps=10)
+    vp = adapt_vp(vp_train, vp_setting.prediction_steps,
+                  llm=build_llm("tiny-test", lora_rank=4, pretrained=True,
+                                pretrain_steps=25, seed=0),
+                  iterations=60, seed=0)
+
+    video, abr_traces = build_setting(ABR_SETTINGS["default_train"], num_traces=4,
+                                      num_chunks=16, trace_duration=150.0, seed=0)
+    abr = adapt_abr(video, abr_traces,
+                    llm=build_llm("tiny-test", lora_rank=4, pretrained=True,
+                                  pretrain_steps=25, seed=1),
+                    iterations=60, seed=0)
+
+    cjs_jobs, executors = build_workload(CJS_SETTINGS["default_train"], seed=3)
+    cjs_workloads = [cjs_jobs[:8]]
+    cjs = adapt_cjs(cjs_workloads, executors,
+                    llm=build_llm("tiny-test", lora_rank=4, pretrained=True,
+                                  pretrain_steps=25, seed=2),
+                    iterations=60, seed=0)
+    print(f"...adapted all three in {time.time() - start:.1f}s")
+    return (vp, vp_test), (abr, video, abr_traces), (cjs, cjs_workloads, executors)
+
+
+def main() -> None:
+    (vp, vp_test), (abr, video, abr_traces), (cjs, cjs_workloads, executors) = \
+        build_artifacts()
+
+    # One engine serves everything: generation sessions plus the three task
+    # adapters.  The generation model is the VP adaptation's backbone (any of
+    # the three would do — they share the same frozen foundation model).
+    server = build_inference_server(model=vp.llm, vp=vp, abr=abr, cjs=cjs,
+                                    policy=SchedulerPolicy(max_batch_size=8))
+
+    outcomes = {}
+
+    def vp_client():
+        handles = [server.submit("vp", sample) for sample in vp_test[:40]]
+        outcomes["vp"] = len([h.result(timeout=120) for h in handles])
+
+    def abr_client():
+        driver = LockstepABRDriver(server, abr.adapter, abr.pool)
+        sessions = driver.run(video, abr_traces[:3], seed=0)
+        outcomes["abr"] = [round(s.qoe(), 3) for s in sessions]
+
+    def cjs_client():
+        scheduler = ServedCJSScheduler(server, cjs.adapter, cjs.pool)
+        outcome = run_workload(scheduler, cjs_workloads[0], executors)
+        outcomes["cjs"] = round(outcome.average_jct, 2)
+
+    print("\nStarting the engine and three client threads + a generation burst...")
+    start = time.time()
+    with server:  # background serve loop
+        generation_handles = [
+            server.submit("generate", f"viewer {i} joined, prefetch plan:",
+                          max_new_tokens=24, stop_on_eos=False, seed=i)
+            for i in range(12)
+        ]
+        threads = [threading.Thread(target=fn)
+                   for fn in (vp_client, abr_client, cjs_client)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        generations = [handle.result(timeout=120) for handle in generation_handles]
+    wall = time.time() - start
+
+    print(f"Served the mixed workload in {wall:.1f}s")
+    print(f"  VP predictions answered: {outcomes['vp']}")
+    print(f"  ABR per-session QoE:     {outcomes['abr']}")
+    print(f"  CJS average JCT:         {outcomes['cjs']}")
+    print(f"  Generated tokens:        {sum(len(g.token_ids) for g in generations)}")
+
+    stats = server.stats()
+    print("\nEngine stats:")
+    for key, value in stats.report().items():
+        print(f"  {key:>22}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,4 +2,21 @@
 where the `wheel` package (needed for PEP 660 editable installs) is absent."""
 from setuptools import setup
 
-setup()
+setup(
+    name="repro-netllm",
+    package_dir={"": "src"},
+    packages=[
+        "repro",
+        "repro.abr",
+        "repro.abr.baselines",
+        "repro.cjs",
+        "repro.cjs.baselines",
+        "repro.core",
+        "repro.llm",
+        "repro.nn",
+        "repro.serve",
+        "repro.utils",
+        "repro.vp",
+        "repro.vp.baselines",
+    ],
+)

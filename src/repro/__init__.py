@@ -9,9 +9,10 @@ Subpackages
 ``repro.vp``     viewport-prediction task: datasets, baselines, metrics
 ``repro.abr``    adaptive-bitrate streaming: traces, simulator, baselines
 ``repro.cjs``    cluster job scheduling: DAG jobs, simulator, baselines
+``repro.serve``  batched multi-session inference serving (continuous batching)
 ``repro.utils``  shared utilities
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "llm", "core", "vp", "abr", "cjs", "utils", "__version__"]
+__all__ = ["nn", "llm", "core", "vp", "abr", "cjs", "serve", "utils", "__version__"]

@@ -53,10 +53,13 @@ from .api import (
     adapt_abr,
     adapt_cjs,
     adapt_vp,
+    build_inference_server,
     cjs_baseline_schedulers,
+    evaluate_abr_netllm_served,
     evaluate_abr_policies,
     evaluate_cjs_schedulers,
     evaluate_vp_methods,
+    evaluate_vp_served,
     rl_collect_abr,
     rl_collect_cjs,
 )
@@ -76,6 +79,8 @@ __all__ = [
     "ABRAdaptation", "CJSAdaptation", "DEFAULT_CONTEXT_WINDOW", "DEFAULT_LORA_RANK",
     "VPAdaptation",
     "abr_baseline_policies", "adapt_abr", "adapt_cjs", "adapt_vp",
-    "cjs_baseline_schedulers", "evaluate_abr_policies", "evaluate_cjs_schedulers",
-    "evaluate_vp_methods", "rl_collect_abr", "rl_collect_cjs",
+    "build_inference_server",
+    "cjs_baseline_schedulers", "evaluate_abr_netllm_served", "evaluate_abr_policies",
+    "evaluate_cjs_schedulers", "evaluate_vp_methods", "evaluate_vp_served",
+    "rl_collect_abr", "rl_collect_cjs",
 ]

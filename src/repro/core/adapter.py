@@ -118,6 +118,30 @@ class VPAdapter(NetLLMAdapter):
             prediction = self.forward(sample.history[None, ...], saliency)
         return prediction.data[0]
 
+    def predict_batch(self, samples: Sequence) -> List[np.ndarray]:
+        """Predict for many samples in one forward (the serving fast path).
+
+        All samples must share the history shape (and saliency presence) — the
+        serving engine groups requests accordingly before calling this.
+        """
+        if not samples:
+            return []
+        self.eval()
+        histories = np.stack([sample.history for sample in samples])
+        saliencies = None
+        if self.use_saliency:
+            with_saliency = sum(sample.saliency is not None for sample in samples)
+            if 0 < with_saliency < len(samples):
+                raise ValueError(
+                    "predict_batch needs uniform saliency presence: got "
+                    f"{with_saliency}/{len(samples)} samples with saliency "
+                    "(group them before batching)")
+            if with_saliency:
+                saliencies = np.stack([sample.saliency for sample in samples])
+        with no_grad():
+            predictions = self.forward(histories, saliencies)
+        return [predictions.data[row] for row in range(len(samples))]
+
 
 @dataclass
 class DecisionBatch:
@@ -237,3 +261,28 @@ class DecisionAdapter(NetLLMAdapter):
                 scores = np.where(valid_mask > 0, scores, -1e9)
             chosen.append(int(np.argmax(scores)))
         return tuple(chosen)
+
+    def act_batch(self, returns: np.ndarray, states: np.ndarray, actions: np.ndarray,
+                  valid_masks: Optional[np.ndarray] = None) -> List[Tuple[int, ...]]:
+        """Greedy actions for many independent context windows in one forward.
+
+        Inputs carry a leading batch dimension (``(batch, window, ...)``);
+        windows must have equal length (the serving engine groups requests by
+        window length).  Returns one action tuple per row, equal to calling
+        :meth:`act` on each row alone.
+        """
+        batch_size = states.shape[0]
+        self.eval()
+        with no_grad():
+            batch = DecisionBatch(returns=returns, states=states, actions=actions)
+            logits_list = self.forward(batch)
+        results: List[Tuple[int, ...]] = []
+        for row in range(batch_size):
+            chosen: List[int] = []
+            for component, logits in enumerate(logits_list):
+                scores = logits.data[row, -1, :].copy()
+                if component == 0 and valid_masks is not None:
+                    scores = np.where(valid_masks[row] > 0, scores, -1e9)
+                chosen.append(int(np.argmax(scores)))
+            results.append(tuple(chosen))
+        return results

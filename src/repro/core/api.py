@@ -102,8 +102,14 @@ def adapt_vp(train_samples: Sequence, prediction_steps: int, llm_name: str = "ll
 
 def evaluate_vp_methods(setting: VPSetting, train_samples: Sequence, test_samples: Sequence,
                         netllm: Optional[VPAdapter] = None, track_epochs: int = 8,
-                        seed: int = 0) -> Dict[str, Dict]:
-    """Evaluate LR / Velocity / TRACK / NetLLM on one VP setting (Figure 10/11 rows)."""
+                        server=None, seed: int = 0) -> Dict[str, Dict]:
+    """Evaluate LR / Velocity / TRACK / NetLLM on one VP setting (Figure 10/11 rows).
+
+    With ``server`` (a :class:`repro.serve.InferenceServer` with the NetLLM
+    VP adapter registered), the NetLLM predictions run through the serving
+    engine — the whole test set is submitted up front so the engine batches
+    compatible samples into single forwards.
+    """
     results: Dict[str, Dict] = {}
     lr_pred = LinearRegressionPredictor(setting.prediction_steps)
     velocity = VelocityPredictor(setting.prediction_steps)
@@ -112,9 +118,27 @@ def evaluate_vp_methods(setting: VPSetting, train_samples: Sequence, test_sample
         results["LR"] = evaluate_predictor(lr_pred, test_samples)
         results["Velocity"] = evaluate_predictor(velocity, test_samples)
         results["TRACK"] = evaluate_predictor(track, test_samples)
-        if netllm is not None:
+    if server is not None:
+        results["NetLLM"] = evaluate_vp_served(server, test_samples)
+    elif netllm is not None:
+        with no_grad():
             results["NetLLM"] = evaluate_predictor(netllm, test_samples)
     return results
+
+
+def evaluate_vp_served(server, test_samples: Sequence) -> Dict[str, object]:
+    """Evaluate the engine-served NetLLM VP predictions (same shape as
+    :func:`repro.vp.evaluate_predictor`)."""
+    from ..serve import serve_vp_predictions
+    from ..vp.task import mean_absolute_error
+
+    predictions = serve_vp_predictions(server, test_samples)
+    errors = [float(mean_absolute_error(prediction, sample.future))
+              for prediction, sample in zip(predictions, test_samples)]
+    return {
+        "mae": float(np.mean(errors)) if errors else float("nan"),
+        "per_sample_mae": errors,
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -159,7 +183,8 @@ def adapt_abr(video, traces, llm_name: str = "llama2-7b-sim",
     lora_rank = DEFAULT_LORA_RANK["abr"] if lora_rank is None else lora_rank
     context_window = DEFAULT_CONTEXT_WINDOW["abr"] if context_window is None else context_window
     llm = llm or build_llm(llm_name, lora_rank=lora_rank, pretrained=pretrained, seed=seed)
-    pool = pool or rl_collect_abr(video, traces, seed=seed)
+    if pool is None:  # `pool or ...` would discard a caller's still-empty pool
+        pool = rl_collect_abr(video, traces, seed=seed)
     state_dim = ABRObservation.flat_size(video.num_bitrates)
     adapter = DecisionAdapter(llm, state_dim=state_dim, action_dims=(video.num_bitrates,),
                               context_window=context_window, head="abr", seed=seed)
@@ -178,6 +203,52 @@ def abr_baseline_policies(video, traces, genet_env_seed: int = 0,
         genet, _ = train_genet(env, seed=seed)
         policies["GENET"] = genet
     return policies
+
+
+def evaluate_abr_netllm_served(server, adaptation: "ABRAdaptation", video, traces,
+                               sim_config=None, target_return_scale: float = 1.1,
+                               seed: int = 0) -> Dict:
+    """Evaluate adapted NetLLM on every trace through the serving engine.
+
+    All traces stream in lockstep: each round the engine answers every
+    session's bitrate decision in one batched adapter forward, so evaluation
+    wall-clock drops with batch size while per-trace QoE matches the
+    sequential :func:`evaluate_abr_policies` path.  Returns the same result
+    dict shape as one policy entry of :func:`evaluate_abr_policies`.
+    """
+    from ..serve import LockstepABRDriver
+
+    driver = LockstepABRDriver(server, adaptation.adapter, adaptation.pool,
+                               target_return_scale=target_return_scale)
+    # No caller-side no_grad(): the engine's forwards self-wrap, and the grad
+    # flag is process-global — holding it here would race a background serve
+    # thread's own no_grad enter/exit.
+    sessions = driver.run(video, traces, config=sim_config, seed=seed)
+    breakdowns = [session.breakdown() for session in sessions]
+    qoes = [session.qoe() for session in sessions]
+    return {
+        "qoe": float(np.mean(qoes)),
+        "per_trace_qoe": qoes,
+        "bitrate": float(np.mean([b["bitrate"] for b in breakdowns])),
+        "rebuffering": float(np.mean([b["rebuffering"] for b in breakdowns])),
+        "bitrate_variation": float(np.mean([b["bitrate_variation"] for b in breakdowns])),
+    }
+
+
+def build_inference_server(model: Optional[LanguageModel] = None, vp=None, abr=None,
+                           cjs=None, policy=None):
+    """Construct an :class:`repro.serve.InferenceServer` from adapted artifacts.
+
+    ``vp``/``abr``/``cjs`` accept either the adaptation dataclasses returned
+    by :func:`adapt_vp`/:func:`adapt_abr`/:func:`adapt_cjs` or bare adapters.
+    """
+    from ..serve import InferenceServer
+
+    adapters = {}
+    for task, artifact in (("vp", vp), ("abr", abr), ("cjs", cjs)):
+        if artifact is not None:
+            adapters[task] = getattr(artifact, "adapter", artifact)
+    return InferenceServer(model=model, policy=policy, adapters=adapters)
 
 
 def evaluate_abr_policies(policies: Dict[str, object], video, traces, sim_config=None,
@@ -240,7 +311,8 @@ def adapt_cjs(workloads, num_executors: int, llm_name: str = "llama2-7b-sim",
     lora_rank = DEFAULT_LORA_RANK["cjs"] if lora_rank is None else lora_rank
     context_window = DEFAULT_CONTEXT_WINDOW["cjs"] if context_window is None else context_window
     llm = llm or build_llm(llm_name, lora_rank=lora_rank, pretrained=pretrained, seed=seed)
-    pool = pool or rl_collect_cjs(workloads, num_executors)
+    if pool is None:  # `pool or ...` would discard a caller's still-empty pool
+        pool = rl_collect_cjs(workloads, num_executors)
     adapter = DecisionAdapter(llm, state_dim=observation_size(),
                               action_dims=(MAX_CANDIDATES, len(PARALLELISM_FRACTIONS)),
                               context_window=context_window, head="cjs",

@@ -159,7 +159,10 @@ def collect_abr_experience(policies: Dict[str, object], video, traces,
     from ..abr.env import ABRObservation
 
     state_dim = ABRObservation.flat_size(video.num_bitrates)
-    pool = pool or ExperiencePool(state_dim=state_dim, action_dims=(video.num_bitrates,))
+    if pool is None:
+        # NOT `pool or ...`: an empty pool is falsy (len == 0), and replacing a
+        # caller-provided pool would silently drop the collected trajectories.
+        pool = ExperiencePool(state_dim=state_dim, action_dims=(video.num_bitrates,))
     with no_grad():
         _collect_abr_rollouts(policies, video, traces, pool, sim_config, seed)
     return pool
@@ -195,8 +198,11 @@ def collect_cjs_experience(policies: Dict[str, object], workloads, num_executors
     """Collect CJS trajectories by scheduling every workload with every policy."""
     from ..cjs.env import collect_trajectory, observation_size
 
-    pool = pool or ExperiencePool(state_dim=observation_size(),
-                                  action_dims=(MAX_CANDIDATES, len(PARALLELISM_FRACTIONS)))
+    if pool is None:
+        # NOT `pool or ...`: an empty pool is falsy (len == 0), and replacing a
+        # caller-provided pool would silently drop the collected trajectories.
+        pool = ExperiencePool(state_dim=observation_size(),
+                              action_dims=(MAX_CANDIDATES, len(PARALLELISM_FRACTIONS)))
     with no_grad():
         for name, policy in policies.items():
             for jobs in workloads:
@@ -246,7 +252,14 @@ class NetLLMABRPolicy:
         actions = np.asarray(self._actions[-window:], dtype=np.int64)
         return returns / self.return_scale, states, actions
 
-    def select_bitrate(self, session: StreamingSession) -> int:
+    def prepare(self, session: StreamingSession) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Account rewards and build the context window for the next decision.
+
+        Split from :meth:`select_bitrate` so that a serving engine can batch
+        the ``adapter.act`` call across many concurrent sessions: call
+        :meth:`prepare`, run the (possibly batched) inference on the returned
+        context, then :meth:`commit` the chosen bitrate.
+        """
         # Account the reward of the chunk downloaded since the previous call.
         records = session.result.records
         while self._last_chunk_seen < len(records):
@@ -261,10 +274,17 @@ class NetLLMABRPolicy:
         self._returns.append(self._remaining_return)
         self._states.append(observation)
         self._actions.append([0])  # placeholder for the action about to be chosen
-        returns, states, actions = self._context()
-        (action,) = self.adapter.act(returns, states, actions)
+        return self._context()
+
+    def commit(self, action: int) -> int:
+        """Record the action chosen for the context built by :meth:`prepare`."""
         self._actions[-1] = [int(action)]
         return int(action)
+
+    def select_bitrate(self, session: StreamingSession) -> int:
+        returns, states, actions = self.prepare(session)
+        (action,) = self.adapter.act(returns, states, actions)
+        return self.commit(action)
 
     def act(self, observation) -> int:
         """Observation-level interface used by the experience/rollout helpers."""
@@ -299,7 +319,13 @@ class NetLLMCJSScheduler:
         actions = np.asarray(self._actions[-window:], dtype=np.int64)
         return returns / self.return_scale, states, actions
 
-    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+    def prepare(self, context: SchedulingContext
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Account cost and build ``(returns, states, actions, valid_mask)``.
+
+        Split from :meth:`schedule` so a serving engine can batch the
+        ``adapter.act`` call; follow with :meth:`commit`.
+        """
         # Account the cost accrued since the previous decision.
         if self._last_decision_time is not None:
             elapsed = max(0.0, context.time - self._last_decision_time)
@@ -316,6 +342,15 @@ class NetLLMCJSScheduler:
         self._states.append(observation)
         self._actions.append([0, 0])
         returns, states, actions = self._context()
-        stage_index, bucket = self.adapter.act(returns, states, actions, valid_mask=valid_mask)
+        return returns, states, actions, valid_mask
+
+    def commit(self, context: SchedulingContext, stage_index: int,
+               bucket: int) -> SchedulingDecision:
+        """Record the chosen action and translate it into a scheduling decision."""
         self._actions[-1] = [int(stage_index), int(bucket)]
         return decision_from_action(context, int(stage_index), int(bucket))
+
+    def schedule(self, context: SchedulingContext) -> SchedulingDecision:
+        returns, states, actions, valid_mask = self.prepare(context)
+        stage_index, bucket = self.adapter.act(returns, states, actions, valid_mask=valid_mask)
+        return self.commit(context, stage_index, bucket)

@@ -10,7 +10,13 @@ from .config import DEFAULT_CONFIGS, LLMConfig, available_configs, get_config
 from .tokenizer import BOS_TOKEN, EOS_TOKEN, PAD_TOKEN, UNK_TOKEN, CharTokenizer
 from .model import LanguageModel
 from .pretrain import PretrainResult, build_corpus, pretrain
-from .generation import GenerationProfile, GenerationResult, generate, profile_generation
+from .generation import (
+    GenerationProfile,
+    GenerationResult,
+    generate,
+    profile_generation,
+    sample_token,
+)
 from .registry import build_llm, clear_cache, load_llm
 
 __all__ = [
@@ -19,5 +25,6 @@ __all__ = [
     "LanguageModel",
     "PretrainResult", "build_corpus", "pretrain",
     "GenerationProfile", "GenerationResult", "generate", "profile_generation",
+    "sample_token",
     "build_llm", "clear_cache", "load_llm",
 ]

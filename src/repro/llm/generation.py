@@ -30,11 +30,46 @@ class GenerationResult:
     num_inferences: int
     elapsed_seconds: float
     stopped_by_eos: bool
+    #: Optional per-token decode breakdown (seconds per sampling step, prefill
+    #: first).  Filled by ``generate(collect_timing=True)`` and by the serving
+    #: engine; ``None`` when timing collection was off.
+    token_seconds: Optional[List[float]] = None
+
+    @property
+    def prefill_seconds(self) -> float:
+        """Time to the first sampled token (prompt prefill + first sample)."""
+        return self.token_seconds[0] if self.token_seconds else 0.0
+
+    @property
+    def decode_seconds_per_token(self) -> float:
+        """Mean per-token latency of the steady-state decode steps."""
+        if not self.token_seconds or len(self.token_seconds) < 2:
+            return 0.0
+        rest = self.token_seconds[1:]
+        return sum(rest) / len(rest)
+
+
+def sample_token(logits: np.ndarray, temperature: float,
+                 rng: np.random.Generator) -> int:
+    """Sample one token id from unnormalized next-token ``logits``.
+
+    ``temperature == 0`` is greedy argmax; otherwise temperature-scaled
+    softmax sampling.  Shared by :func:`generate` and the serving engine's
+    decode loop so served sessions reproduce the standalone token stream.
+    """
+    if temperature and temperature > 0:
+        scaled = logits / temperature
+        scaled = scaled - scaled.max()
+        probs = np.exp(scaled)
+        probs = probs / probs.sum()
+        return int(rng.choice(len(probs), p=probs))
+    return int(np.argmax(logits))
 
 
 def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
              temperature: float = 0.0, seed: int = 0,
-             stop_on_eos: bool = True, use_cache: bool = True) -> GenerationResult:
+             stop_on_eos: bool = True, use_cache: bool = True,
+             collect_timing: bool = False) -> GenerationResult:
     """Generate a completion for ``prompt`` with the LM head, token by token.
 
     ``temperature == 0`` performs greedy decoding; otherwise tokens are
@@ -54,6 +89,11 @@ def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
     (exact parity is deliberately kept over amortized sliding).
     ``num_inferences`` still counts one transformer inference per generated
     token (the paper's Figure 2 metric).
+
+    With ``collect_timing`` the result carries ``token_seconds`` — the wall
+    clock of every sampling step (prompt prefill first) — the same breakdown
+    the serving engine records per request, so queue/prefill/decode shares can
+    be compared between standalone and served generation.
     """
     if max_new_tokens < 1:
         raise ValueError("max_new_tokens must be >= 1")
@@ -63,8 +103,10 @@ def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
     max_context = model.config.max_seq_len
     generated: List[int] = []
     stopped = False
+    token_seconds: Optional[List[float]] = [] if collect_timing else None
 
     start = time.perf_counter()
+    last_step = start
     num_inferences = 0
     was_training = model.training
     model.eval()
@@ -87,15 +129,11 @@ def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
                     logits = model.forward_incremental(
                         np.asarray(pending, dtype=np.int64)[None, :], cache)
                 num_inferences += 1
-                last = logits.data[0, -1, :]
-                if temperature and temperature > 0:
-                    scaled = last / temperature
-                    scaled = scaled - scaled.max()
-                    probs = np.exp(scaled)
-                    probs = probs / probs.sum()
-                    next_id = int(rng.choice(len(probs), p=probs))
-                else:
-                    next_id = int(np.argmax(last))
+                if token_seconds is not None:
+                    now = time.perf_counter()
+                    token_seconds.append(now - last_step)
+                    last_step = now
+                next_id = sample_token(logits.data[0, -1, :], temperature, rng)
                 if stop_on_eos and next_id == tokenizer.eos_id:
                     stopped = True
                     break
@@ -107,7 +145,8 @@ def generate(model: LanguageModel, prompt: str, max_new_tokens: int = 64,
     elapsed = time.perf_counter() - start
     text = tokenizer.decode(generated)
     return GenerationResult(text=text, token_ids=generated, num_inferences=num_inferences,
-                            elapsed_seconds=elapsed, stopped_by_eos=stopped)
+                            elapsed_seconds=elapsed, stopped_by_eos=stopped,
+                            token_seconds=token_seconds)
 
 
 @dataclass
@@ -136,12 +175,27 @@ class GenerationProfile:
 def profile_generation(model: LanguageModel, prompts: List[str],
                        validator: Callable[[str], bool],
                        max_new_tokens: int = 64, temperature: float = 0.7,
-                       seed: int = 0) -> GenerationProfile:
-    """Run token-based generation over ``prompts`` and measure validity/latency."""
+                       seed: int = 0, server=None) -> GenerationProfile:
+    """Run token-based generation over ``prompts`` and measure validity/latency.
+
+    With ``server`` (a :class:`repro.serve.InferenceServer` built on this
+    model), every prompt is submitted up front and decoded with continuous
+    batching — per-answer latency then includes queueing, which is what a
+    deployed endpoint observes.
+    """
     profile = GenerationProfile()
-    for index, prompt in enumerate(prompts):
-        result = generate(model, prompt, max_new_tokens=max_new_tokens,
-                          temperature=temperature, seed=seed + index)
+    if server is not None:
+        handles = [server.submit_generation(prompt, max_new_tokens=max_new_tokens,
+                                            temperature=temperature, seed=seed + index)
+                   for index, prompt in enumerate(prompts)]
+        if not server.is_serving:
+            server.run_until_idle()
+        results = [handle.result() for handle in handles]
+    else:
+        results = [generate(model, prompt, max_new_tokens=max_new_tokens,
+                            temperature=temperature, seed=seed + index)
+                   for index, prompt in enumerate(prompts)]
+    for result in results:
         profile.num_answers += 1
         profile.num_valid += int(bool(validator(result.text)))
         profile.total_seconds += result.elapsed_seconds

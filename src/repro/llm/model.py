@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import (
+    BatchedKVCache,
     Embedding,
     KVCache,
     LayerNorm,
@@ -93,6 +94,27 @@ class LanguageModel(Module):
             token_ids = token_ids[None, :]
         embeddings = self.token_embedding(token_ids)
         features = self.backbone(embeddings, causal=True, cache=cache)
+        return self.lm_head(features)
+
+    def init_batched_cache(self, max_slots: int) -> BatchedKVCache:
+        """Multi-session KV cache for batched decoding (``repro.serve``)."""
+        return self.backbone.init_batched_cache(max_slots)
+
+    def forward_step(self, token_ids: np.ndarray, cache: BatchedKVCache,
+                     slots: np.ndarray) -> Tensor:
+        """Next-token logits for one new token of each of ``len(slots)`` sessions.
+
+        ``token_ids`` has shape ``(n,)`` or ``(n, 1)``; row *i* is the newest
+        token of the session occupying ``cache`` slot ``slots[i]``.  One
+        forward advances all sessions together (per-session positions come
+        from the cache), with per-session logits matching
+        :meth:`forward_incremental` on the session alone.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[:, None]
+        embeddings = self.token_embedding(token_ids)
+        features = self.backbone.forward_step(embeddings, cache, slots)
         return self.lm_head(features)
 
     def forward_embeddings(self, embeddings: Tensor, causal: bool = True) -> Tensor:

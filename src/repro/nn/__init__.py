@@ -48,7 +48,14 @@ from .layers import (
     Tanh,
 )
 from .conv import Conv1D, PatchImageEncoder, TemporalConvEncoder
-from .attention import KVCache, LayerKVCache, MultiHeadAttention, causal_mask
+from .attention import (
+    BatchedKVCache,
+    BatchedLayerKVCache,
+    KVCache,
+    LayerKVCache,
+    MultiHeadAttention,
+    causal_mask,
+)
 from .transformer import FeedForward, TransformerBackbone, TransformerBlock
 from .rnn import LSTM, LSTMCell
 from .gnn import GraphConv, GraphEncoder, normalized_adjacency
@@ -65,6 +72,7 @@ __all__ = [
     "Dropout", "Embedding", "GELU", "LayerNorm", "Linear", "MLP", "Module", "ModuleList",
     "Parameter", "ReLU", "Sequential", "Tanh",
     "Conv1D", "PatchImageEncoder", "TemporalConvEncoder",
+    "BatchedKVCache", "BatchedLayerKVCache",
     "KVCache", "LayerKVCache", "MultiHeadAttention", "causal_mask",
     "FeedForward", "TransformerBackbone", "TransformerBlock",
     "LSTM", "LSTMCell",

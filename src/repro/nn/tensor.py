@@ -442,7 +442,9 @@ class Tensor:
         # Python float, not np.float64 scalar: keeps float32 inputs float32.
         c = float(np.sqrt(2.0 / np.pi))
         x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
+        # x*x*x, not x**3: np.power on float64 arrays is ~70x slower than two
+        # multiplies, and gelu sits on every transformer MLP forward.
+        inner = c * (x + 0.044715 * (x * x * x))
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
         out, record = self._make(out_data, self.requires_grad, (self,))
@@ -452,8 +454,8 @@ class Tensor:
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = c * (1.0 + 3 * 0.044715 * (x * x))
             grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
             self._accumulate(out.grad * grad)
 

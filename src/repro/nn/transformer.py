@@ -7,7 +7,14 @@ from typing import Optional
 
 import numpy as np
 
-from .attention import KVCache, LayerKVCache, MultiHeadAttention, causal_mask
+from .attention import (
+    BatchedKVCache,
+    BatchedLayerKVCache,
+    KVCache,
+    LayerKVCache,
+    MultiHeadAttention,
+    causal_mask,
+)
 from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
 from .lora import LoRALinear
 from .tensor import Tensor
@@ -64,6 +71,13 @@ class TransformerBlock(Module):
         x = x + self.mlp(self.norm2(x))
         return x
 
+    def forward_step(self, x: Tensor, layer_cache: BatchedLayerKVCache,
+                     slots: np.ndarray, positions: np.ndarray) -> Tensor:
+        """Batched multi-session single-token step (see ``MultiHeadAttention.forward_step``)."""
+        x = x + self.attention.forward_step(self.norm1(x), layer_cache, slots, positions)
+        x = x + self.mlp(self.norm2(x))
+        return x
+
 
 class TransformerBackbone(Module):
     """Stack of transformer blocks with learned positional embeddings.
@@ -102,6 +116,42 @@ class TransformerBackbone(Module):
     def init_cache(self) -> KVCache:
         """Return a fresh, empty KV cache sized for this backbone."""
         return KVCache(len(self.blocks))
+
+    def init_batched_cache(self, max_slots: int) -> BatchedKVCache:
+        """Return an empty multi-session KV cache with ``max_slots`` slots."""
+        return BatchedKVCache(len(self.blocks), max_slots)
+
+    def forward_step(self, embeddings: Tensor, cache: BatchedKVCache,
+                     slots: np.ndarray) -> Tensor:
+        """Advance ``len(slots)`` independent sessions by one token each.
+
+        ``embeddings`` is ``(n, 1, d_model)``; row *i* is the newest token of
+        the session in ``slots[i]``.  Each session keeps its own position
+        (the length of its cached history), so sessions admitted at different
+        times — with different prompt lengths — decode together in a single
+        batched forward with per-session positional embeddings.  The cache is
+        updated in place and the per-slot lengths advance by one.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        n, seq, d_model = embeddings.shape
+        if d_model != self.d_model:
+            raise ValueError(f"expected embedding dim {self.d_model}, got {d_model}")
+        if seq != 1:
+            raise ValueError("forward_step consumes one token per session")
+        if n != len(slots):
+            raise ValueError(f"{n} embedding rows for {len(slots)} slots")
+        if len(slots) != len(set(slots.tolist())):
+            raise ValueError("duplicate slots in one batched step")
+        positions = cache.prepare_step(slots)
+        if np.any(positions + 1 > self.max_seq_len):
+            worst = int(positions.max()) + 1
+            raise ValueError(f"sequence length {worst} exceeds maximum {self.max_seq_len}")
+        pos_embedding = self.position_embedding.data[positions][:, None, :]
+        x = embeddings + Tensor(pos_embedding, dtype=pos_embedding.dtype)
+        for block, layer_cache in zip(self.blocks, cache.layers):
+            x = block.forward_step(x, layer_cache, slots, positions)
+        cache.commit_step(slots)
+        return self.final_norm(x)
 
     def forward(self, embeddings: Tensor, causal: bool = True,
                 cache: Optional[KVCache] = None) -> Tensor:

@@ -1,0 +1,30 @@
+"""``repro.serve`` — batched multi-session inference serving.
+
+The runtime substrate (``repro.nn``'s :class:`~repro.nn.BatchedKVCache` and
+the batched ``forward_step`` path) advances N independent decoding sessions
+in one forward; this package adds the serving machinery on top: a session
+manager, a continuous-batching scheduler, and the :class:`InferenceServer`
+facade with future-style request handles and a queue-level metrics surface
+(tokens/s, p50/p95 latency, batch occupancy, queue depth).
+"""
+
+from .clients import (
+    LockstepABRDriver,
+    ServedABRPolicy,
+    ServedCJSScheduler,
+    ServedVPPredictor,
+    serve_vp_predictions,
+)
+from .engine import InferenceServer, RequestHandle
+from .metrics import RequestMetrics, ServerStats
+from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from .session import GenerationSession, SessionManager
+
+__all__ = [
+    "ContinuousBatchingScheduler", "SchedulerPolicy",
+    "GenerationSession", "SessionManager",
+    "InferenceServer", "RequestHandle",
+    "RequestMetrics", "ServerStats",
+    "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",
+    "ServedVPPredictor", "serve_vp_predictions",
+]

@@ -1,0 +1,136 @@
+"""Task-side clients that drive the three NetLLM adapters through the engine.
+
+These wrappers turn the synchronous per-step adapter calls of the deployment
+policies into engine submissions so that concurrent sessions share batched
+forwards:
+
+* :func:`serve_vp_predictions` — submit a whole VP test set at once; the
+  engine groups compatible samples into one ``predict_batch`` forward.
+* :class:`LockstepABRDriver` — streams many ABR sessions in lockstep: each
+  round every unfinished session submits its bitrate decision, the engine
+  answers them in one batched ``act_batch`` forward, then every session
+  downloads its chunk.
+* :class:`ServedABRPolicy` / :class:`ServedCJSScheduler` — drop-in policy /
+  scheduler objects whose per-step decision goes through the engine, for use
+  inside the unmodified simulators (each call batches with whatever other
+  traffic is pending, e.g. when several simulator threads share a started
+  server).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..abr.simulator import StreamingSession
+from ..core.ddlrna import NetLLMABRPolicy, NetLLMCJSScheduler
+from .engine import InferenceServer
+
+
+# ---------------------------------------------------------------------- #
+# Viewport prediction
+# ---------------------------------------------------------------------- #
+def serve_vp_predictions(server: InferenceServer, samples: Sequence) -> List[np.ndarray]:
+    """Predict every sample through the engine (batched by shape group)."""
+    handles = [server.submit("vp", sample) for sample in samples]
+    if not server.is_serving:
+        server.run_until_idle()
+    return [handle.result() for handle in handles]
+
+
+class ServedVPPredictor:
+    """``predict(sample)``-compatible wrapper that answers via the engine."""
+
+    name = "NetLLM-served"
+
+    def __init__(self, server: InferenceServer) -> None:
+        self.server = server
+
+    def predict(self, sample) -> np.ndarray:
+        return self.server.submit("vp", sample).result()
+
+
+# ---------------------------------------------------------------------- #
+# Adaptive bitrate streaming
+# ---------------------------------------------------------------------- #
+class ServedABRPolicy(NetLLMABRPolicy):
+    """ABR policy whose per-chunk decision is answered by the engine."""
+
+    name = "NetLLM-served"
+
+    def __init__(self, server: InferenceServer, adapter, pool,
+                 target_return_scale: float = 1.1) -> None:
+        super().__init__(adapter, pool, target_return_scale=target_return_scale)
+        self.server = server
+
+    def select_bitrate(self, session: StreamingSession) -> int:
+        returns, states, actions = self.prepare(session)
+        payload = {"returns": returns, "states": states, "actions": actions}
+        (action,) = self.server.submit("abr", payload).result()
+        return self.commit(action)
+
+
+class LockstepABRDriver:
+    """Stream many ABR sessions concurrently with batched decisions.
+
+    Each round, every unfinished session prepares its context and submits one
+    ``abr`` request; the engine groups same-window contexts into a single
+    batched adapter forward; every session then commits its action and
+    downloads the chunk.  Per-session QoE matches driving each session alone
+    (the batched forward is the same computation).
+    """
+
+    def __init__(self, server: InferenceServer, adapter, pool,
+                 target_return_scale: float = 1.1) -> None:
+        self.server = server
+        self.adapter = adapter
+        self.pool = pool
+        self.target_return_scale = target_return_scale
+
+    def run(self, video, traces, config=None, seed: int = 0) -> List:
+        """Stream every trace; returns the per-trace ``SessionResult`` list."""
+        sessions = [StreamingSession(video, trace, config=config, seed=seed + index)
+                    for index, trace in enumerate(traces)]
+        policies = [NetLLMABRPolicy(self.adapter, self.pool,
+                                    target_return_scale=self.target_return_scale)
+                    for _ in sessions]
+        active = list(range(len(sessions)))
+        while active:
+            submissions = []
+            for index in active:
+                returns, states, actions = policies[index].prepare(sessions[index])
+                payload = {"returns": returns, "states": states, "actions": actions}
+                submissions.append((index, self.server.submit("abr", payload)))
+            if not self.server.is_serving:
+                self.server.run_until_idle()
+            still_active = []
+            for index, handle in submissions:
+                (action,) = handle.result()
+                policies[index].commit(action)
+                sessions[index].download_chunk(action)
+                if not sessions[index].finished:
+                    still_active.append(index)
+            active = still_active
+        return [session.result for session in sessions]
+
+
+# ---------------------------------------------------------------------- #
+# Cluster job scheduling
+# ---------------------------------------------------------------------- #
+class ServedCJSScheduler(NetLLMCJSScheduler):
+    """CJS scheduler whose per-event decision is answered by the engine."""
+
+    name = "NetLLM-served"
+
+    def __init__(self, server: InferenceServer, adapter, pool,
+                 target_return_scale: float = 0.9) -> None:
+        super().__init__(adapter, pool, target_return_scale=target_return_scale)
+        self.server = server
+
+    def schedule(self, context):
+        returns, states, actions, valid_mask = self.prepare(context)
+        payload = {"returns": returns, "states": states, "actions": actions,
+                   "valid_mask": valid_mask}
+        stage_index, bucket = self.server.submit("cjs", payload).result()
+        return self.commit(context, stage_index, bucket)

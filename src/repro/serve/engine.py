@@ -1,0 +1,455 @@
+"""`InferenceServer` — the batched multi-session serving facade.
+
+One engine serves two kinds of traffic through a single shared model:
+
+* **Generation sessions** (``task="generate"``): streaming autoregressive
+  requests decoded with continuous batching over the batched KV cache — new
+  sessions are admitted into the in-flight batch whenever slots free up, so
+  one ``forward_step`` advances every running session at once.
+* **Decision requests** (``task in {"vp", "abr", "cjs"}``): per-step NetLLM
+  adapter inferences.  Pending requests of a task are grouped by compatible
+  shape between decode steps and executed as one batched adapter forward.
+
+``submit`` returns a :class:`RequestHandle` immediately.  The engine can be
+driven synchronously (``step()`` / ``run_until_idle()`` / ``handle.result()``)
+or by a background thread (``start()`` / ``stop()``, or the context manager),
+which lets independent client threads — e.g. a VP evaluator, several ABR
+sessions and a CJS workload — share one batched model.
+
+Threading caveat: all engine forwards run under ``repro.nn.no_grad()``, whose
+flag is process-wide (not thread-local) — do not *train* on other threads
+while a background serve loop is running.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..llm import LanguageModel
+from .metrics import RequestMetrics, ServerStats
+from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from .session import FAILED, FINISHED, QUEUED, GenerationSession, SessionManager
+
+#: Task names with built-in batching support.
+GENERATE = "generate"
+DECISION_TASKS = ("vp", "abr", "cjs")
+
+
+class RequestHandle:
+    """Future-style handle for one submitted request."""
+
+    def __init__(self, server: "InferenceServer", request_id: int, task: str,
+                 metrics: RequestMetrics) -> None:
+        self._server = server
+        self.request_id = request_id
+        self.task = task
+        self.metrics = metrics
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the request completes and return its payload.
+
+        With the background serve loop running this waits on the loop; in
+        synchronous mode it drives the engine until the request resolves.
+        """
+        if not self._event.is_set():
+            self._server._drive(self, timeout)
+        if not self._event.is_set():
+            raise TimeoutError(f"request {self.request_id} ({self.task}) timed out")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, result: Any) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _DecisionRequest:
+    """One queued adapter-inference request."""
+
+    handle: RequestHandle
+    payload: Any
+    group_key: Tuple = ()
+
+
+@dataclass
+class _GenerationRequest:
+    session: GenerationSession
+    handle: RequestHandle
+
+
+class InferenceServer:
+    """Batched multi-session inference engine over one shared model.
+
+    Parameters
+    ----------
+    model:
+        The :class:`LanguageModel` serving generation sessions (optional when
+        the engine only serves adapter decision traffic).
+    policy:
+        Batch/context/queue bounds (:class:`SchedulerPolicy`).
+    adapters:
+        Optional mapping of task name (``"vp"``/``"abr"``/``"cjs"``) to the
+        adapted NetLLM adapter answering that task's decision requests.
+    """
+
+    def __init__(self, model: Optional[LanguageModel] = None,
+                 policy: Optional[SchedulerPolicy] = None,
+                 adapters: Optional[Dict[str, Any]] = None) -> None:
+        self.policy = policy or SchedulerPolicy()
+        self.model = model
+        self._manager = (SessionManager(model, max_slots=self.policy.max_batch_size,
+                                        max_context=self.policy.max_context)
+                         if model is not None else None)
+        self._scheduler = ContinuousBatchingScheduler(self.policy)
+        self._adapters: Dict[str, Any] = dict(adapters or {})
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._pending_generation: Dict[int, RequestHandle] = {}  # session_id -> handle
+        self._pending_decisions: Dict[str, List[_DecisionRequest]] = {}
+        # Bounded retention: a long-lived server keeps the most recent
+        # completions for stats() instead of growing without limit.
+        self._completed: Deque[RequestMetrics] = deque(maxlen=16384)
+        self._started_at: Optional[float] = None
+        self._last_finished_at: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def register_adapter(self, task: str, adapter: Any) -> None:
+        if task not in DECISION_TASKS:
+            raise ValueError(f"unknown decision task {task!r}; expected one of "
+                             f"{DECISION_TASKS}")
+        with self._lock:
+            self._adapters[task] = adapter
+
+    def submit(self, task: str, payload: Any, **options) -> RequestHandle:
+        """Queue one request; returns a future-style handle.
+
+        * ``task="generate"``: ``payload`` is the prompt string; options are
+          forwarded to the generation session (``max_new_tokens``,
+          ``temperature``, ``seed``, ``stop_on_eos``).
+        * ``task="vp"``: ``payload`` is a ``VPSample``-like object; resolves to
+          the predicted viewport array.
+        * ``task="abr"`` / ``task="cjs"``: ``payload`` is the context dict
+          (``returns``, ``states``, ``actions`` and, for CJS, ``valid_mask``);
+          resolves to the greedy action tuple.
+        """
+        if task == GENERATE:
+            return self.submit_generation(payload, **options)
+        if task not in DECISION_TASKS:
+            raise ValueError(f"unknown task {task!r}")
+        if options:
+            raise TypeError(f"unexpected options for {task!r} request: {sorted(options)}")
+        if task not in self._adapters:
+            raise ValueError(f"no adapter registered for task {task!r}")
+        metrics = RequestMetrics(task=task)
+        handle = RequestHandle(self, next(self._ids), task, metrics)
+        request = _DecisionRequest(handle=handle, payload=payload,
+                                   group_key=self._group_key(task, payload))
+        with self._work:
+            self._note_submission()
+            self._pending_decisions.setdefault(task, []).append(request)
+            self._work.notify_all()
+        return handle
+
+    def submit_generation(self, prompt: str, max_new_tokens: int = 64,
+                          temperature: float = 0.0, seed: int = 0,
+                          stop_on_eos: bool = True) -> RequestHandle:
+        """Queue a streaming generation request (continuous-batching path)."""
+        if self._manager is None:
+            raise ValueError("this server has no language model; "
+                             "construct it with model=... to serve generation")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        metrics = RequestMetrics(task=GENERATE)
+        request_id = next(self._ids)
+        session = GenerationSession(session_id=request_id, prompt=prompt,
+                                    max_new_tokens=max_new_tokens,
+                                    temperature=temperature, seed=seed,
+                                    stop_on_eos=stop_on_eos, metrics=metrics)
+        handle = RequestHandle(self, request_id, GENERATE, metrics)
+        with self._work:
+            self._note_submission()
+            if not self._scheduler.enqueue(session):
+                handle._fail(RuntimeError(
+                    f"request queue full ({self.policy.max_queue}); retry later"))
+                return handle
+            self._pending_generation[session.session_id] = handle
+            self._work.notify_all()
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Engine loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """One scheduling round: admit, batched decode, flush decisions.
+
+        Returns True when any work was performed (so drivers can loop until
+        the engine goes idle).
+        """
+        with self._lock:
+            did_work = False
+            did_work |= self._admit_queued()
+            did_work |= self._decode_step()
+            did_work |= self._flush_decisions()
+            return did_work
+
+    def run_until_idle(self) -> None:
+        """Drive the engine synchronously until no work remains."""
+        while self.step():
+            pass
+
+    @property
+    def is_serving(self) -> bool:
+        """True while the background serve loop is running."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def has_pending_work(self) -> bool:
+        with self._lock:
+            running = self._manager.num_running if self._manager else 0
+            pending = sum(len(v) for v in self._pending_decisions.values())
+            return bool(running or pending or self._scheduler.queue_depth)
+
+    # ------------------------------------------------------------------ #
+    # Background serve loop
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceServer":
+        """Run the serve loop on a background thread (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background loop, optionally draining queued work first.
+
+        Without ``drain``, requests still queued or in flight are *failed*
+        (never left unresolved) so no client blocks forever on a handle whose
+        server has gone away.
+        """
+        if drain:
+            while self.has_pending_work():
+                if self._thread is None or not self._thread.is_alive():
+                    self.run_until_idle()
+                    break
+                time.sleep(0.001)
+        with self._work:
+            self._running = False
+            self._work.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.has_pending_work() or self._pending_generation:
+            self._fail_all_pending(RuntimeError(
+                "server stopped before completing this request"))
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._work:
+                if not self._running:
+                    return
+            try:
+                did_work = self.step()
+            except BaseException as error:
+                # The loop thread must not die silently: clients blocked in
+                # handle.result() would hang forever. Fail everything pending
+                # with the original error and shut the loop down.
+                self._fail_all_pending(error)
+                with self._work:
+                    self._running = False
+                return
+            if not did_work:
+                with self._work:
+                    if not self._running:
+                        return
+                    self._work.wait(timeout=0.005)
+
+    def _fail_all_pending(self, error: BaseException) -> None:
+        """Fail every queued/in-flight request (serve loop is going down)."""
+        with self._lock:
+            for session in self._scheduler.admissions(free_slots=10 ** 9):
+                session.state = FAILED
+                self._finish_generation(session, error=error)
+            if self._manager is not None:
+                for session in list(self._manager.running.values()):
+                    self._manager.evict(session, reason="failed")
+                    session.state = FAILED
+                    self._finish_generation(session, error=error)
+            for session_id in list(self._pending_generation):
+                handle = self._pending_generation.pop(session_id)
+                handle._fail(error)
+            for task, pending in list(self._pending_decisions.items()):
+                self._pending_decisions[task] = []
+                for request in pending:
+                    request.handle._fail(error)
+
+    def _drive(self, handle: RequestHandle, timeout: Optional[float]) -> None:
+        """Resolve ``handle``: wait on the loop thread or step synchronously."""
+        if self._thread is not None and self._thread.is_alive() \
+                and threading.current_thread() is not self._thread:
+            handle._event.wait(timeout)
+            return
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while not handle.done():
+            if deadline is not None and time.perf_counter() > deadline:
+                return
+            if not self.step():
+                if not handle.done():
+                    handle._fail(RuntimeError(
+                        f"request {handle.request_id} cannot complete: engine is idle"))
+                return
+
+    # ------------------------------------------------------------------ #
+    # Step phases (called with the lock held)
+    # ------------------------------------------------------------------ #
+    def _admit_queued(self) -> bool:
+        if self._manager is None:
+            return False
+        admitted = self._scheduler.admissions(self._manager.num_free)
+        if not admitted:
+            return False
+        try:
+            self._manager.admit_many(admitted)
+        except Exception:
+            # Batched prefill failed: retry one by one so a single bad
+            # request cannot reject the whole admission wave.
+            for session in admitted:
+                if session.state != QUEUED:
+                    continue
+                try:
+                    self._manager.admit(session)
+                except Exception as error:
+                    session.state = FAILED
+                    self._finish_generation(session, error=error)
+        for session in admitted:
+            if session.state == FINISHED:  # e.g. EOS sampled from prefill
+                self._finish_generation(session)
+        return True
+
+    def _decode_step(self) -> bool:
+        if self._manager is None or self._manager.num_running == 0:
+            return False
+        completed, occupancy = self._manager.step()
+        if occupancy:
+            self._scheduler.record_step(occupancy)
+        for session in completed:
+            self._finish_generation(session)
+        return True
+
+    def _finish_generation(self, session: GenerationSession,
+                           error: Optional[BaseException] = None) -> None:
+        handle = self._pending_generation.pop(session.session_id, None)
+        self._last_finished_at = time.perf_counter()
+        if handle is None:
+            return
+        if error is not None:
+            session.metrics.mark_finished()
+            handle._fail(error)
+            return
+        self._completed.append(session.metrics)
+        handle._resolve(session.to_result(self.model.tokenizer))
+
+    def _flush_decisions(self) -> bool:
+        did_work = False
+        for task in DECISION_TASKS:
+            pending = self._pending_decisions.get(task)
+            if not pending:
+                continue
+            self._pending_decisions[task] = []
+            groups: Dict[Tuple, List[_DecisionRequest]] = {}
+            for request in pending:
+                groups.setdefault(request.group_key, []).append(request)
+            for group in groups.values():
+                self._execute_decision_group(task, group)
+                self._scheduler.record_step(len(group))
+            did_work = True
+        return did_work
+
+    def _execute_decision_group(self, task: str,
+                                group: List[_DecisionRequest]) -> None:
+        adapter = self._adapters[task]
+        for request in group:
+            request.handle.metrics.mark_admitted()
+            request.handle.metrics.batch_sizes.append(len(group))
+        try:
+            if task == "vp":
+                predictions = adapter.predict_batch([r.payload for r in group])
+                results: List[Any] = predictions
+            else:
+                returns = np.stack([r.payload["returns"] for r in group])
+                states = np.stack([r.payload["states"] for r in group])
+                actions = np.stack([r.payload["actions"] for r in group])
+                masks = None
+                if task == "cjs":
+                    masks = np.stack([r.payload["valid_mask"] for r in group])
+                results = adapter.act_batch(returns, states, actions, valid_masks=masks)
+        except Exception as error:
+            for request in group:
+                request.handle.metrics.mark_finished()
+                request.handle._fail(error)
+            return
+        self._last_finished_at = time.perf_counter()
+        for request, result in zip(group, results):
+            request.handle.metrics.mark_finished()
+            self._completed.append(request.handle.metrics)
+            request.handle._resolve(result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_key(task: str, payload: Any) -> Tuple:
+        """Batching-compatibility key for a decision request."""
+        if task == "vp":
+            history = payload.history
+            saliency = payload.saliency
+            saliency_key = None if saliency is None else tuple(saliency.shape)
+            return (tuple(history.shape), saliency_key)
+        states = payload["states"]
+        return (int(states.shape[0]),)
+
+    def _note_submission(self) -> None:
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def stats(self) -> ServerStats:
+        """Aggregate throughput/latency/occupancy over completed requests."""
+        with self._lock:
+            end = self._last_finished_at or time.perf_counter()
+            wall = (end - self._started_at) if self._started_at is not None else 0.0
+            return ServerStats.from_requests(
+                list(self._completed), wall,
+                list(self._scheduler.occupancy_samples),
+                list(self._scheduler.queue_depth_samples))

@@ -1,0 +1,129 @@
+"""Per-request and server-level metrics for the serving engine.
+
+The metrics surface follows the queue-level performance-diagnosis framing the
+serving literature converges on: every request records how long it queued, how
+long it decoded and which batch sizes it rode in, and the server aggregates
+those into throughput / tail-latency / occupancy statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..utils import percentile
+
+
+@dataclass
+class RequestMetrics:
+    """Lifecycle timing of one request through the engine."""
+
+    task: str
+    submitted_at: float = field(default_factory=time.perf_counter)
+    admitted_at: Optional[float] = None
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    tokens_generated: int = 0
+    #: Per-token wall-clock seconds (prefill token first) — the same breakdown
+    #: :func:`repro.llm.generation.generate` returns with ``collect_timing``.
+    token_seconds: List[float] = field(default_factory=list)
+    #: Batch occupancy of each engine step this request participated in.
+    batch_sizes: List[int] = field(default_factory=list)
+
+    def mark_admitted(self) -> None:
+        self.admitted_at = time.perf_counter()
+
+    def mark_finished(self) -> None:
+        self.finished_at = time.perf_counter()
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time spent waiting before the scheduler admitted the request."""
+        if self.admitted_at is None:
+            return 0.0
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def decode_seconds(self) -> float:
+        """Time from admission to completion (prefill + all decode steps)."""
+        if self.admitted_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.admitted_at
+
+    @property
+    def total_seconds(self) -> float:
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.submitted_at
+
+    @property
+    def time_to_first_token(self) -> float:
+        if self.first_token_at is None:
+            return 0.0
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics over the completed requests."""
+
+    requests_completed: int
+    tokens_generated: int
+    wall_seconds: float
+    tokens_per_second: float
+    latency_p50_s: float
+    latency_p95_s: float
+    queue_p50_s: float
+    queue_p95_s: float
+    mean_batch_occupancy: float
+    max_queue_depth: int
+    per_task: Dict[str, int]
+
+    @classmethod
+    def from_requests(cls, requests: List[RequestMetrics], wall_seconds: float,
+                      occupancy_samples: List[int],
+                      queue_depth_samples: List[int]) -> "ServerStats":
+        finished = [r for r in requests if r.finished_at is not None]
+        tokens = sum(r.tokens_generated for r in finished)
+        latencies = [r.total_seconds for r in finished]
+        queues = [r.queue_seconds for r in finished]
+        per_task: Dict[str, int] = {}
+        for request in finished:
+            per_task[request.task] = per_task.get(request.task, 0) + 1
+        return cls(
+            requests_completed=len(finished),
+            tokens_generated=tokens,
+            wall_seconds=wall_seconds,
+            tokens_per_second=tokens / wall_seconds if wall_seconds > 0 else 0.0,
+            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
+            latency_p95_s=percentile(latencies, 95) if latencies else 0.0,
+            queue_p50_s=percentile(queues, 50) if queues else 0.0,
+            queue_p95_s=percentile(queues, 95) if queues else 0.0,
+            mean_batch_occupancy=(sum(occupancy_samples) / len(occupancy_samples)
+                                  if occupancy_samples else 0.0),
+            max_queue_depth=max(queue_depth_samples) if queue_depth_samples else 0,
+            per_task=per_task,
+        )
+
+    def report(self) -> Dict[str, object]:
+        """JSON-friendly summary (used by the serving benchmark)."""
+        return {
+            "requests_completed": self.requests_completed,
+            "tokens_generated": self.tokens_generated,
+            "wall_seconds": self.wall_seconds,
+            "tokens_per_second": self.tokens_per_second,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "queue_p50_s": self.queue_p50_s,
+            "queue_p95_s": self.queue_p95_s,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "max_queue_depth": self.max_queue_depth,
+            "per_task": dict(self.per_task),
+        }

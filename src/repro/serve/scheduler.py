@@ -1,0 +1,83 @@
+"""Continuous-batching scheduler: request queue + admission/eviction policy.
+
+The scheduler owns the FIFO request queue and decides, between decode steps,
+which queued sessions join the in-flight batch (vLLM-style continuous
+batching: admissions happen whenever slots free up, never only at batch
+boundaries).  It also samples the queue depth and batch occupancy that feed
+the :class:`~repro.serve.metrics.ServerStats` report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from .session import GenerationSession
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Knobs bounding the in-flight batch and per-session context.
+
+    ``max_batch_size`` caps how many sessions decode together (the slot count
+    of the batched KV cache).  ``max_context`` caps each session's total
+    context length (prompt + generated); ``None`` defers to the model's
+    ``max_seq_len``.  ``max_queue`` bounds the waiting queue — submissions
+    beyond it are rejected, which is the backpressure signal a load balancer
+    in front of the engine would consume.
+    """
+
+    max_batch_size: int = 16
+    max_context: Optional[int] = None
+    max_queue: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_context is not None and self.max_context < 2:
+            raise ValueError("max_context must be >= 2")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+class ContinuousBatchingScheduler:
+    """FIFO admission of queued sessions into freed batch slots."""
+
+    #: Per-step samples retained for stats (bounded for long-lived servers).
+    MAX_SAMPLES = 65536
+
+    def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
+        self.policy = policy or SchedulerPolicy()
+        self._queue: Deque[GenerationSession] = deque()
+        self.queue_depth_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
+        self.occupancy_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, session: GenerationSession) -> bool:
+        """Queue a session for admission; False when the queue is full."""
+        if (self.policy.max_queue is not None
+                and len(self._queue) >= self.policy.max_queue):
+            self.rejected_total += 1
+            return False
+        self._queue.append(session)
+        return True
+
+    def admissions(self, free_slots: int) -> List[GenerationSession]:
+        """Pop the sessions to admit into the freed slots (FIFO order)."""
+        grant = min(free_slots, len(self._queue))
+        admitted = [self._queue.popleft() for _ in range(grant)]
+        self.admitted_total += len(admitted)
+        return admitted
+
+    # ------------------------------------------------------------------ #
+    def record_step(self, batch_size: int) -> None:
+        """Sample per-step occupancy and queue depth for the stats report."""
+        self.occupancy_samples.append(batch_size)
+        self.queue_depth_samples.append(len(self._queue))

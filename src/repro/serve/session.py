@@ -1,0 +1,244 @@
+"""Generation sessions and the slot manager over the batched KV cache.
+
+A :class:`GenerationSession` is one streaming autoregressive request (prompt
+in, tokens out).  The :class:`SessionManager` owns the model's
+:class:`~repro.nn.BatchedKVCache`: it prefills prompts through the
+single-session cache path, packs them into free slots, advances every running
+session with one batched ``forward_step`` per engine step, and evicts
+completed sessions so their slots can be reused by queued requests —
+continuous batching.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..llm import LanguageModel
+from ..llm.generation import GenerationResult, sample_token
+from ..nn import no_grad
+from ..utils import seeded_rng
+from .metrics import RequestMetrics
+
+#: Session lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+FINISHED = "finished"
+FAILED = "failed"
+
+#: Completion reasons.
+REASON_EOS = "eos"
+REASON_MAX_TOKENS = "max_tokens"
+REASON_CONTEXT_FULL = "context_full"
+
+
+@dataclass
+class GenerationSession:
+    """One streaming generation request tracked by the engine."""
+
+    session_id: int
+    prompt: str
+    max_new_tokens: int = 64
+    temperature: float = 0.0
+    seed: int = 0
+    stop_on_eos: bool = True
+    state: str = QUEUED
+    slot: Optional[int] = None
+    prompt_ids: List[int] = field(default_factory=list)
+    generated: List[int] = field(default_factory=list)
+    stopped_by_eos: bool = False
+    finish_reason: Optional[str] = None
+    num_inferences: int = 0
+    metrics: RequestMetrics = field(default_factory=lambda: RequestMetrics(task="generate"))
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    _last_step_at: Optional[float] = field(default=None, repr=False)
+
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = seeded_rng(self.seed)
+        return self._rng
+
+    def record_token(self) -> None:
+        now = time.perf_counter()
+        if self.metrics.first_token_at is None:
+            self.metrics.first_token_at = now
+        reference = self._last_step_at if self._last_step_at is not None else (
+            self.metrics.admitted_at or self.metrics.submitted_at)
+        self.metrics.token_seconds.append(now - reference)
+        self._last_step_at = now
+
+    def to_result(self, tokenizer) -> GenerationResult:
+        """Materialize the standard :class:`GenerationResult` for this session."""
+        return GenerationResult(
+            text=tokenizer.decode(self.generated),
+            token_ids=list(self.generated),
+            num_inferences=self.num_inferences,
+            elapsed_seconds=self.metrics.total_seconds,
+            stopped_by_eos=self.stopped_by_eos,
+            token_seconds=list(self.metrics.token_seconds),
+        )
+
+
+class SessionManager:
+    """Slot bookkeeping and batched decoding over a shared model.
+
+    ``max_slots`` bounds how many sessions decode together (the batch size of
+    one engine step); ``max_context`` bounds each session's total context.
+    Unlike eval-mode :func:`repro.llm.generation.generate`, the engine does not
+    re-prime a sliding window when the context fills up — the session is
+    completed with ``finish_reason == "context_full"`` instead, which is the
+    behaviour a serving deployment wants (bounded per-request work).
+    """
+
+    def __init__(self, model: LanguageModel, max_slots: int = 16,
+                 max_context: Optional[int] = None) -> None:
+        if max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        self.model = model
+        self.max_slots = max_slots
+        model_limit = model.config.max_seq_len
+        self.max_context = min(max_context or model_limit, model_limit)
+        if self.max_context < 2:
+            raise ValueError("max_context must leave room for at least one new token")
+        self.cache = model.init_batched_cache(max_slots)
+        self.running: Dict[int, GenerationSession] = {}  # slot -> session
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def num_free(self) -> int:
+        return self.max_slots - len(self.running)
+
+    # ------------------------------------------------------------------ #
+    def admit(self, session: GenerationSession) -> None:
+        """Prefill a queued session's prompt and pack it into a free slot."""
+        self.admit_many([session])
+
+    def admit_many(self, sessions: List[GenerationSession]) -> None:
+        """Prefill queued sessions and pack each into a free slot.
+
+        Equal-length prompts are prefilled together in one batched forward
+        (a large share of admission cost when many requests arrive at once);
+        each session's first output token is sampled from its prefill logits,
+        exactly as :func:`~repro.llm.generation.generate` does.
+        """
+        if len(sessions) > self.num_free:
+            raise RuntimeError(
+                f"cannot admit {len(sessions)} sessions into {self.num_free} free slots")
+        tokenizer = self.model.tokenizer
+        # Keep the whole prompt when it fits, else the most recent
+        # max_context tokens — the same window generate() prefills, so the
+        # first sampled token matches the standalone path even for prompts
+        # at the cap (such a session then finishes context_full right after).
+        limit = self.max_context
+        groups: Dict[int, List[GenerationSession]] = {}
+        for session in sessions:
+            session.prompt_ids = tokenizer.encode(session.prompt, add_bos=True)[-limit:]
+            session.metrics.mark_admitted()
+            groups.setdefault(len(session.prompt_ids), []).append(session)
+        # Mirror generate(): KV-cached forwards require eval mode (dropout
+        # off); restore the caller's mode afterwards.
+        was_training = self.model.training
+        if was_training:
+            self.model.eval()
+        try:
+            for group in groups.values():
+                self._admit_group(group)
+        finally:
+            if was_training:
+                self.model.train()
+
+    def _admit_group(self, group: List[GenerationSession]) -> None:
+        prompt_ids = np.asarray([session.prompt_ids for session in group],
+                                dtype=np.int64)
+        with no_grad():
+            prefill_cache = self.model.init_cache()
+            logits = self.model.forward_incremental(prompt_ids, prefill_cache)
+            for row, session in enumerate(group):
+                session.slot = self.cache.admit(prefill_cache, row=row)
+                self.running[session.slot] = session
+                session.state = RUNNING
+        for row, session in enumerate(group):
+            self._consume_logits(session, logits.data[row, -1, :])
+
+    def evict(self, session: GenerationSession, reason: str) -> None:
+        session.finish_reason = session.finish_reason or reason
+        session.state = FINISHED
+        session.metrics.mark_finished()
+        if session.slot is not None:
+            self.cache.evict(session.slot)
+            del self.running[session.slot]
+            session.slot = None
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> Tuple[List[GenerationSession], int]:
+        """Advance every running session by one token.
+
+        One batched ``forward_step`` feeds each session's most recent token
+        and samples its next one.  Sessions that hit EOS, their token budget
+        or the context cap are evicted, freeing slots for queued requests.
+        Returns ``(completed_sessions, occupancy)`` where ``occupancy`` is the
+        batch size of the forward actually executed (0 when every running
+        session finished at the context cap before the forward).
+        """
+        if not self.running:
+            return [], 0
+        # Sessions whose cache cannot take one more token finish now (their
+        # already-sampled final token still counts as generated output).
+        completed: List[GenerationSession] = []
+        for slot in sorted(self.running):
+            session = self.running[slot]
+            if int(self.cache.lengths[slot]) + 1 > self.max_context:
+                completed.append(session)
+        for session in completed:
+            self.evict(session, REASON_CONTEXT_FULL)
+        if not self.running:
+            return completed, 0
+
+        slots = np.asarray(sorted(self.running), dtype=np.int64)
+        batch = [self.running[int(slot)] for slot in slots]
+        tokens = np.asarray([s.generated[-1] for s in batch], dtype=np.int64)
+        was_training = self.model.training
+        if was_training:  # KV-cached forwards require eval mode (as generate())
+            self.model.eval()
+        try:
+            with no_grad():
+                logits = self.model.forward_step(tokens, self.cache, slots).data[:, -1, :]
+        finally:
+            if was_training:
+                self.model.train()
+        occupancy = len(batch)
+        for row, session in enumerate(batch):
+            session.metrics.batch_sizes.append(occupancy)
+            if not self._consume_logits(session, logits[row]):
+                completed.append(session)
+        return completed, occupancy
+
+    # ------------------------------------------------------------------ #
+    def _consume_logits(self, session: GenerationSession, logits: np.ndarray) -> bool:
+        """Sample one token from ``logits``; return False when the session ends.
+
+        Uses the same :func:`~repro.llm.generation.sample_token` as standalone
+        :func:`~repro.llm.generation.generate`, so a served session reproduces
+        the standalone token stream.
+        """
+        session.num_inferences += 1
+        next_id = sample_token(logits, session.temperature, session.rng())
+        session.record_token()
+        tokenizer = self.model.tokenizer
+        if session.stop_on_eos and next_id == tokenizer.eos_id:
+            session.stopped_by_eos = True
+            self.evict(session, REASON_EOS)
+            return False
+        session.generated.append(next_id)
+        session.metrics.tokens_generated = len(session.generated)
+        if len(session.generated) >= session.max_new_tokens:
+            self.evict(session, REASON_MAX_TOKENS)
+            return False
+        return True

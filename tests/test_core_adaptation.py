@@ -88,6 +88,33 @@ class TestABRAdaptation:
         assert pool.num_transitions == 4 * video.num_chunks
         assert set(pool.policy_names()) == {"BBA", "MPC"}
 
+    def test_experience_collection_fills_provided_empty_pool(self, abr_setup):
+        # Regression: `pool or ExperiencePool(...)` treated a caller's still-
+        # empty pool as falsy and filled a fresh pool instead, so callers that
+        # seed a pool before training (the fig03 benchmark) saw it stay empty.
+        from repro.abr.env import ABRObservation
+        from repro.core import ExperiencePool
+
+        video, traces, _ = abr_setup
+        pool = ExperiencePool(state_dim=ABRObservation.flat_size(video.num_bitrates),
+                              action_dims=(video.num_bitrates,))
+        returned = collect_abr_experience({"BBA": BBAPolicy()}, video, traces[:1],
+                                          pool=pool, seed=0)
+        assert returned is pool
+        assert len(pool) == 1
+
+    def test_cjs_experience_collection_fills_provided_empty_pool(self, cjs_setup):
+        from repro.cjs.env import MAX_CANDIDATES, PARALLELISM_FRACTIONS, observation_size
+        from repro.core import ExperiencePool
+
+        workloads, _, executors = cjs_setup
+        pool = ExperiencePool(state_dim=observation_size(),
+                              action_dims=(MAX_CANDIDATES, len(PARALLELISM_FRACTIONS)))
+        returned = collect_cjs_experience({"SJF": ShortestJobFirstScheduler()},
+                                          workloads[:1], executors, pool=pool)
+        assert returned is pool
+        assert len(pool) == 1
+
     def test_adapt_decision_reduces_loss(self, tiny_llm, abr_setup):
         video, traces, _ = abr_setup
         pool = rl_collect_abr(video, traces[:2], policies={"MPC": MPCPolicy(horizon=3)}, seed=0)

@@ -190,6 +190,35 @@ class TestGeneration:
         assert 0.0 <= profile.valid_fraction <= 1.0
         assert profile.mean_latency > 0
 
+    def test_collect_timing_breakdown(self, tiny_llm_plain):
+        off = generate(tiny_llm_plain, "abc", max_new_tokens=6, stop_on_eos=False)
+        assert off.token_seconds is None
+        assert off.prefill_seconds == 0.0 and off.decode_seconds_per_token == 0.0
+        result = generate(tiny_llm_plain, "abc", max_new_tokens=6, stop_on_eos=False,
+                          collect_timing=True)
+        assert len(result.token_seconds) == result.num_inferences
+        assert all(t >= 0 for t in result.token_seconds)
+        assert result.prefill_seconds == result.token_seconds[0]
+        expected = sum(result.token_seconds[1:]) / (result.num_inferences - 1)
+        assert result.decode_seconds_per_token == pytest.approx(expected)
+        # The per-token breakdown accounts for (almost all of) the total.
+        assert sum(result.token_seconds) <= result.elapsed_seconds
+
+    def test_profile_generation_through_server_matches_validity(self, tiny_llm_plain):
+        from repro.serve import InferenceServer, SchedulerPolicy
+
+        prompts = ["1.0 2.0", "3.0 4.0", "5.5"]
+        direct = profile_generation(tiny_llm_plain, prompts,
+                                    validator=lambda text: "." in text,
+                                    max_new_tokens=6, temperature=0.0)
+        server = InferenceServer(tiny_llm_plain, SchedulerPolicy(max_batch_size=3))
+        served = profile_generation(tiny_llm_plain, prompts,
+                                    validator=lambda text: "." in text,
+                                    max_new_tokens=6, temperature=0.0, server=server)
+        assert served.num_answers == direct.num_answers
+        assert served.valid_fraction == direct.valid_fraction
+        assert served.total_inferences == direct.total_inferences
+
 
 class TestRegistry:
     def test_build_llm_without_pretraining(self):

@@ -1,0 +1,436 @@
+"""Serving engine tests: batched/sequential parity, continuous batching,
+scheduler behaviour, decision-request batching and the metrics surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import LanguageModel, build_llm, generate
+from repro.llm.config import LLMConfig
+from repro.nn import BatchedKVCache, no_grad
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    GenerationSession,
+    InferenceServer,
+    SchedulerPolicy,
+    SessionManager,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = LLMConfig(name="serve-test", family="test", d_model=32, num_layers=2,
+                       num_heads=2, max_seq_len=64)
+    return LanguageModel(config, seed=3)
+
+
+# ---------------------------------------------------------------------- #
+# Batched KV-cache parity with sequential single-session decoding
+# ---------------------------------------------------------------------- #
+class TestBatchedDecodeParity:
+    # Parity is asserted at atol=1e-9/rtol=0 (the repo's "machine precision"
+    # convention): BLAS rounds batched GEMMs differently from single-row ones
+    # at the ~1e-15 level, so bit-exactness across batch shapes is impossible
+    # by construction — 1e-9 is ~6 orders of magnitude tighter than any
+    # difference that could flip a sampled token in practice.
+
+    def test_ragged_batch_matches_sequential(self, model):
+        """N sessions with different prompt lengths decode identically."""
+        rng = np.random.default_rng(0)
+        vocab = model.tokenizer.vocab_size
+        prompts = [rng.integers(0, vocab, size=n).tolist() for n in (3, 11, 7, 1, 18)]
+
+        with no_grad():
+            reference_caches = []
+            reference_logits = []
+            for prompt in prompts:
+                cache = model.init_cache()
+                logits = model.forward_incremental(
+                    np.asarray(prompt, dtype=np.int64)[None, :], cache)
+                reference_caches.append(cache)
+                reference_logits.append(logits.data[0, -1])
+
+            batched = model.init_batched_cache(max_slots=8)
+            slots = []
+            for prompt, expected in zip(prompts, reference_logits):
+                cache = model.init_cache()
+                logits = model.forward_incremental(
+                    np.asarray(prompt, dtype=np.int64)[None, :], cache)
+                np.testing.assert_array_equal(logits.data[0, -1], expected)
+                slots.append(batched.admit(cache))
+            slots = np.asarray(slots, dtype=np.int64)
+
+            tokens = [int(np.argmax(l)) for l in reference_logits]
+            for _ in range(8):
+                out = model.forward_step(np.asarray(tokens), batched, slots).data[:, -1, :]
+                for row, cache in enumerate(reference_caches):
+                    expected = model.forward_incremental(
+                        np.asarray([[tokens[row]]], dtype=np.int64), cache).data[0, -1]
+                    np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
+                tokens = [int(np.argmax(out[row])) for row in range(len(prompts))]
+
+    def test_interleaved_admission_eviction_parity(self, model):
+        """Evicting mid-flight and admitting into the freed slot keeps parity."""
+        rng = np.random.default_rng(7)
+        vocab = model.tokenizer.vocab_size
+        batched = model.init_batched_cache(max_slots=3)
+
+        def prefill(length):
+            prompt = rng.integers(0, vocab, size=length)
+            cache = model.init_cache()
+            logits = model.forward_incremental(prompt[None, :], cache)
+            return cache, int(np.argmax(logits.data[0, -1]))
+
+        with no_grad():
+            sessions = {}
+            for length in (5, 9, 2):
+                cache, token = prefill(length)
+                slot = batched.admit(cache)
+                sessions[slot] = {"cache": cache, "token": token}
+
+            def step(slots):
+                slots = np.asarray(sorted(slots), dtype=np.int64)
+                tokens = np.asarray([sessions[int(s)]["token"] for s in slots])
+                out = model.forward_step(tokens, batched, slots).data[:, -1, :]
+                for row, slot in enumerate(slots):
+                    state = sessions[int(slot)]
+                    expected = model.forward_incremental(
+                        np.asarray([[state["token"]]], dtype=np.int64),
+                        state["cache"]).data[0, -1]
+                    np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
+                    state["token"] = int(np.argmax(expected))
+
+            step(list(sessions))
+            step(list(sessions))
+            # Evict the middle session; its slot must be reusable.
+            batched.evict(1)
+            del sessions[1]
+            step(list(sessions))
+            cache, token = prefill(13)
+            slot = batched.admit(cache)
+            assert slot == 1  # freed slot is reused
+            sessions[slot] = {"cache": cache, "token": token}
+            step(list(sessions))
+            step(list(sessions))
+
+    def test_batched_cache_slot_exhaustion_and_errors(self, model):
+        batched = model.init_batched_cache(max_slots=1)
+        with no_grad():
+            cache = model.init_cache()
+            model.forward_incremental(np.asarray([[5, 6, 7]]), cache)
+            slot = batched.admit(cache)
+            other = model.init_cache()
+            model.forward_incremental(np.asarray([[9]]), other)
+            with pytest.raises(RuntimeError, match="no free slots"):
+                batched.admit(other)
+            batched.evict(slot)
+            with pytest.raises(ValueError, match="already free"):
+                batched.evict(slot)
+        with pytest.raises(ValueError, match="prefill first"):
+            batched.admit(model.init_cache())
+        mismatched = BatchedKVCache(5, 2)
+        with pytest.raises(ValueError, match="layers"):
+            with no_grad():
+                cache2 = model.init_cache()
+                model.forward_incremental(np.asarray([[1]]), cache2)
+                mismatched.admit(cache2)
+
+    def test_forward_step_validation(self, model):
+        batched = model.init_batched_cache(max_slots=4)
+        with no_grad():
+            cache = model.init_cache()
+            model.forward_incremental(np.asarray([[5, 6]]), cache)
+            slot = batched.admit(cache)
+            with pytest.raises(ValueError, match="duplicate"):
+                model.forward_step(np.asarray([1, 2]), batched,
+                                   np.asarray([slot, slot]))
+            with pytest.raises(ValueError, match="one token"):
+                model.backbone.forward_step(
+                    model.token_embedding(np.asarray([[1, 2]])), batched,
+                    np.asarray([slot]))
+
+    def test_forward_step_respects_max_seq_len(self):
+        config = LLMConfig(name="cap", family="test", d_model=32, num_layers=1,
+                           num_heads=2, max_seq_len=6)
+        capped = LanguageModel(config, seed=0)
+        batched = capped.init_batched_cache(max_slots=2)
+        with no_grad():
+            cache = capped.init_cache()
+            capped.forward_incremental(np.asarray([[1, 2, 3, 4, 5]]), cache)
+            slot = batched.admit(cache)
+            capped.forward_step(np.asarray([1]), batched, np.asarray([slot]))  # -> 6
+            with pytest.raises(ValueError, match="exceeds maximum"):
+                capped.forward_step(np.asarray([1]), batched, np.asarray([slot]))
+
+    def test_forward_step_requires_no_grad(self, model):
+        batched = model.init_batched_cache(max_slots=2)
+        with no_grad():
+            cache = model.init_cache()
+            model.forward_incremental(np.asarray([[4, 2]]), cache)
+            slot = batched.admit(cache)
+        with pytest.raises(RuntimeError, match="no_grad"):
+            model.forward_step(np.asarray([1]), batched, np.asarray([slot]))
+
+
+# ---------------------------------------------------------------------- #
+# Served generation end to end
+# ---------------------------------------------------------------------- #
+class TestServedGeneration:
+    def test_served_streams_match_standalone_generate(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=3))
+        prompts = ["abc 1.0 2.0", "x", "hello world", "bitrate:", "zz 9 9 9", "k"]
+        handles = [server.submit("generate", prompt, max_new_tokens=10,
+                                 stop_on_eos=False) for prompt in prompts]
+        server.run_until_idle()
+        for prompt, handle in zip(prompts, handles):
+            served = handle.result()
+            reference = generate(model, prompt, max_new_tokens=10, stop_on_eos=False)
+            assert served.token_ids == reference.token_ids
+            assert served.num_inferences == reference.num_inferences
+            assert served.text == reference.text
+            assert len(served.token_seconds) == served.num_inferences
+
+    def test_served_sampling_with_seed_matches_generate(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=4))
+        handles = [server.submit("generate", "sample me", max_new_tokens=12,
+                                 temperature=0.8, seed=s, stop_on_eos=False)
+                   for s in range(4)]
+        server.run_until_idle()
+        for seed, handle in enumerate(handles):
+            reference = generate(model, "sample me", max_new_tokens=12,
+                                 temperature=0.8, seed=seed, stop_on_eos=False)
+            assert handle.result().token_ids == reference.token_ids
+
+    def test_continuous_batching_reuses_slots(self, model):
+        # 6 requests over 2 slots: completions must free slots for the queue.
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2))
+        handles = [server.submit("generate", f"p{i}", max_new_tokens=4,
+                                 stop_on_eos=False) for i in range(6)]
+        server.run_until_idle()
+        assert all(h.done() for h in handles)
+        stats = server.stats()
+        assert stats.requests_completed == 6
+        assert stats.per_task == {"generate": 6}
+        assert 0 < stats.mean_batch_occupancy <= 2
+        assert stats.max_queue_depth >= 1
+        assert stats.tokens_generated == 6 * 4
+
+    def test_context_cap_finishes_session(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2, max_context=12))
+        handle = server.submit("generate", "0123456789", max_new_tokens=50,
+                               stop_on_eos=False)
+        result = handle.result()
+        # Context cap (12) bounds prompt + generated tokens.
+        assert 0 < len(result.token_ids) < 50
+
+    def test_threaded_serve_loop(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=4))
+        with server:
+            assert server.is_serving
+            handles = [server.submit("generate", f"t{i}", max_new_tokens=6,
+                                     stop_on_eos=False) for i in range(8)]
+            results = [h.result(timeout=60) for h in handles]
+        assert not server.is_serving
+        for i, result in enumerate(results):
+            reference = generate(model, f"t{i}", max_new_tokens=6, stop_on_eos=False)
+            assert result.token_ids == reference.token_ids
+
+    def test_queue_full_rejection(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1, max_queue=1))
+        first = server.submit("generate", "a", max_new_tokens=2, stop_on_eos=False)
+        server.step()  # admit `first` into the (single) slot
+        second = server.submit("generate", "b", max_new_tokens=2, stop_on_eos=False)
+        third = server.submit("generate", "c", max_new_tokens=2, stop_on_eos=False)
+        assert third.done()  # rejected immediately: the waiting queue is full
+        with pytest.raises(RuntimeError, match="queue full"):
+            third.result()
+        server.run_until_idle()
+        assert first.result().token_ids and second.result().token_ids
+
+    def test_stop_without_drain_fails_pending_handles(self, model):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1))
+        server.start()
+        handles = [server.submit("generate", f"long {i}", max_new_tokens=400,
+                                 stop_on_eos=False) for i in range(6)]
+        server.stop(drain=False)
+        # Every handle resolves (possibly with the shutdown error) — no hangs.
+        for handle in handles:
+            try:
+                handle.result(timeout=10)
+            except RuntimeError as error:
+                assert "server stopped" in str(error)
+
+    def test_serves_training_mode_dropout_model(self):
+        # generate() switches to eval and restores; the engine must do the
+        # same or KV-cached attention rejects the dropout model.
+        config = LLMConfig(name="serve-drop", family="test", d_model=32,
+                           num_layers=2, num_heads=2, max_seq_len=64, dropout=0.2)
+        dropout_model = LanguageModel(config, seed=0)
+        assert dropout_model.training
+        server = InferenceServer(dropout_model, SchedulerPolicy(max_batch_size=2))
+        handle = server.submit("generate", "abc", max_new_tokens=8, stop_on_eos=False)
+        served = handle.result()
+        reference = generate(dropout_model, "abc", max_new_tokens=8, stop_on_eos=False)
+        assert served.token_ids == reference.token_ids
+        assert dropout_model.training  # mode restored
+
+    def test_long_prompt_first_token_matches_generate(self, model):
+        # Prompt longer than the context: the engine prefills the same
+        # trailing window generate() uses, so the first token agrees; the
+        # session then finishes at the context cap instead of sliding.
+        prompt = "x" * (model.config.max_seq_len + 20)
+        served = InferenceServer(model).submit(
+            "generate", prompt, max_new_tokens=30, stop_on_eos=False).result()
+        reference = generate(model, prompt, max_new_tokens=30, stop_on_eos=False)
+        assert served.token_ids[0] == reference.token_ids[0]
+        assert 0 < len(served.token_ids) < 30  # bounded by the context cap
+
+    def test_server_without_model_rejects_generation(self):
+        server = InferenceServer()
+        with pytest.raises(ValueError, match="no language model"):
+            server.submit("generate", "hi")
+        with pytest.raises(ValueError, match="unknown task"):
+            server.submit("nope", object())
+
+
+# ---------------------------------------------------------------------- #
+# Scheduler smoke tests (fast lane)
+# ---------------------------------------------------------------------- #
+class TestScheduler:
+    def _session(self, i):
+        return GenerationSession(session_id=i, prompt=f"s{i}")
+
+    def test_fifo_admission_order(self):
+        scheduler = ContinuousBatchingScheduler(SchedulerPolicy(max_batch_size=8))
+        for i in range(5):
+            assert scheduler.enqueue(self._session(i))
+        admitted = scheduler.admissions(free_slots=3)
+        assert [s.session_id for s in admitted] == [0, 1, 2]
+        assert scheduler.queue_depth == 2
+        admitted = scheduler.admissions(free_slots=8)
+        assert [s.session_id for s in admitted] == [3, 4]
+        assert scheduler.admitted_total == 5
+
+    def test_queue_bound(self):
+        scheduler = ContinuousBatchingScheduler(SchedulerPolicy(max_queue=2))
+        assert scheduler.enqueue(self._session(0))
+        assert scheduler.enqueue(self._session(1))
+        assert not scheduler.enqueue(self._session(2))
+        assert scheduler.rejected_total == 1
+
+    def test_step_sampling(self):
+        scheduler = ContinuousBatchingScheduler()
+        scheduler.enqueue(self._session(0))
+        scheduler.record_step(batch_size=4)
+        assert list(scheduler.occupancy_samples) == [4]
+        assert list(scheduler.queue_depth_samples) == [1]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_context=1)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_queue=0)
+
+    def test_session_manager_requires_capacity(self, model):
+        with pytest.raises(ValueError, match="max_slots"):
+            SessionManager(model, max_slots=0)
+
+
+# ---------------------------------------------------------------------- #
+# Decision-request serving (the three task adapters)
+# ---------------------------------------------------------------------- #
+class TestDecisionServing:
+    def test_vp_requests_batch_and_match_direct_predict(self, vp_data):
+        from repro.core import VPAdapter
+
+        setting, _, test = vp_data
+        llm = build_llm("tiny-test", lora_rank=0, pretrained=False, seed=0)
+        adapter = VPAdapter(llm, prediction_steps=setting.prediction_steps, seed=0)
+        server = InferenceServer(adapters={"vp": adapter})
+        samples = test[:6]
+        handles = [server.submit("vp", sample) for sample in samples]
+        server.run_until_idle()
+        for sample, handle in zip(samples, handles):
+            np.testing.assert_allclose(handle.result(), adapter.predict(sample),
+                                       atol=1e-9, rtol=0)
+        stats = server.stats()
+        assert stats.per_task == {"vp": 6}
+        assert stats.mean_batch_occupancy > 1  # they actually shared forwards
+
+    def test_abr_requests_match_direct_act(self, abr_setup, tiny_llm):
+        from repro.abr.env import ABRObservation
+        from repro.core import DecisionAdapter
+
+        video, traces, _ = abr_setup
+        state_dim = ABRObservation.flat_size(video.num_bitrates)
+        adapter = DecisionAdapter(tiny_llm, state_dim=state_dim,
+                                  action_dims=(video.num_bitrates,),
+                                  context_window=4, head="abr", seed=0)
+        server = InferenceServer(adapters={"abr": adapter})
+        rng = np.random.default_rng(0)
+        payloads = []
+        for _ in range(5):
+            window = 3
+            payloads.append({
+                "returns": rng.normal(size=(window, 1)),
+                "states": rng.normal(size=(window, state_dim)),
+                "actions": rng.integers(0, video.num_bitrates, size=(window, 1)),
+            })
+        handles = [server.submit("abr", payload) for payload in payloads]
+        server.run_until_idle()
+        for payload, handle in zip(payloads, handles):
+            direct = adapter.act(payload["returns"], payload["states"], payload["actions"])
+            assert handle.result() == direct
+
+    def test_served_vp_predictor_wrapper_matches_direct(self, vp_data):
+        from repro.core import VPAdapter
+        from repro.serve import ServedVPPredictor
+
+        setting, _, test = vp_data
+        llm = build_llm("tiny-test", lora_rank=0, pretrained=False, seed=1)
+        adapter = VPAdapter(llm, prediction_steps=setting.prediction_steps, seed=0)
+        server = InferenceServer(adapters={"vp": adapter})
+        predictor = ServedVPPredictor(server)
+        sample = test[0]
+        np.testing.assert_allclose(predictor.predict(sample), adapter.predict(sample),
+                                   atol=1e-9, rtol=0)
+
+    def test_predict_batch_rejects_mixed_saliency(self, vp_data):
+        from repro.core import VPAdapter
+
+        setting, _, test = vp_data
+        llm = build_llm("tiny-test", lora_rank=0, pretrained=False, seed=1)
+        adapter = VPAdapter(llm, prediction_steps=setting.prediction_steps, seed=0)
+        import copy
+        stripped = copy.copy(test[1])
+        stripped.saliency = None
+        with pytest.raises(ValueError, match="uniform saliency"):
+            adapter.predict_batch([test[0], stripped])
+
+    def test_serve_loop_failure_fails_pending_handles(self, model):
+        # A model whose decode step raises must not hang clients: the serve
+        # loop fails every pending handle with the original error.
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2))
+        boom = RuntimeError("injected decode failure")
+
+        def exploding_step():
+            raise boom
+
+        server._manager.step = exploding_step
+        with server:
+            handles = [server.submit("generate", f"x{i}", max_new_tokens=4,
+                                     stop_on_eos=False) for i in range(4)]
+            for handle in handles:
+                with pytest.raises(RuntimeError, match="injected decode failure"):
+                    handle.result(timeout=30)
+        assert not server.is_serving
+
+    def test_adapter_registration_guard(self):
+        server = InferenceServer()
+        with pytest.raises(ValueError, match="no adapter registered"):
+            server.submit("abr", {})
+        with pytest.raises(ValueError, match="unknown decision task"):
+            server.register_adapter("generate", object())

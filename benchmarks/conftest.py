@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List
@@ -36,6 +37,40 @@ from repro.llm import build_llm
 from repro.vp import VP_SETTINGS, ViewportDataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Wall-clock budget for the CI fast lane (`pytest -m "not slow"`).  The fast
+#: lane is only useful while it stays interactive, so a session that deselects
+#: the slow benchmarks but still overruns this budget gets a loud warning —
+#: and a hard failure when REPRO_ENFORCE_FAST_LANE=1 (CI).  New stress or
+#: property tests that cannot fit the budget must carry the `slow` marker.
+FAST_LANE_BUDGET_SECONDS = 60.0
+
+
+def pytest_configure(config):
+    # pytest_configure is a *historic* hook: it also fires when this conftest
+    # registers late (repo-root runs load subdirectory conftests during
+    # collection, after pytest_sessionstart has already been called), so the
+    # stamp exists no matter which directory pytest was invoked from.
+    if not hasattr(config, "_repro_fast_lane_started"):
+        config._repro_fast_lane_started = time.perf_counter()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    started = getattr(session.config, "_repro_fast_lane_started", None)
+    markexpr = getattr(session.config.option, "markexpr", "") or ""
+    if started is None or "not slow" not in markexpr:
+        return  # full runs (figure benchmarks included) have no lane budget
+    elapsed = time.perf_counter() - started
+    if elapsed <= FAST_LANE_BUDGET_SECONDS:
+        return
+    message = (
+        f"fast lane took {elapsed:.1f}s (> {FAST_LANE_BUDGET_SECONDS:.0f}s budget); "
+        f"mark the offending new tests `slow` or speed them up")
+    if os.environ.get("REPRO_ENFORCE_FAST_LANE") == "1":
+        session.exitstatus = pytest.ExitCode.TESTS_FAILED
+        print(f"\nERROR: {message}")
+    else:
+        print(f"\nWARNING: {message}")
 
 
 @dataclass(frozen=True)

@@ -23,12 +23,13 @@ from typing import Optional
 import numpy as np
 
 from ..nn import (
-    BatchedKVCache,
+    DEFAULT_BLOCK_SIZE,
     Embedding,
     KVCache,
     LayerNorm,
     Linear,
     Module,
+    PagedKVCache,
     Tensor,
     TransformerBackbone,
     iter_lora_layers,
@@ -96,25 +97,39 @@ class LanguageModel(Module):
         features = self.backbone(embeddings, causal=True, cache=cache)
         return self.lm_head(features)
 
-    def init_batched_cache(self, max_slots: int) -> BatchedKVCache:
-        """Multi-session KV cache for batched decoding (``repro.serve``)."""
-        return self.backbone.init_batched_cache(max_slots)
+    def init_paged_cache(self, max_sessions: int = 16,
+                         max_context: Optional[int] = None,
+                         block_size: int = DEFAULT_BLOCK_SIZE,
+                         extra_blocks: int = 0) -> PagedKVCache:
+        """Paged multi-session KV cache for batched decoding (``repro.serve``).
 
-    def forward_step(self, token_ids: np.ndarray, cache: BatchedKVCache,
-                     slots: np.ndarray) -> Tensor:
-        """Next-token logits for one new token of each of ``len(slots)`` sessions.
+        The pool is sized so ``max_sessions`` concurrent sessions can each
+        reach ``max_context`` tokens (default: the model's ``max_seq_len``),
+        plus ``extra_blocks`` for out-of-session residents such as a shared
+        prompt-prefix cache.  Storage is only materialized for blocks actually
+        touched, so short sessions never pay for the worst case.
+        """
+        max_context = min(max_context or self.config.max_seq_len,
+                          self.config.max_seq_len)
+        per_session = -(-max_context // block_size)
+        return self.backbone.init_paged_cache(
+            max_sessions * per_session + extra_blocks, block_size=block_size)
+
+    def forward_step(self, token_ids: np.ndarray, cache: PagedKVCache,
+                     session_ids: np.ndarray) -> Tensor:
+        """Next-token logits for one new token of each listed session.
 
         ``token_ids`` has shape ``(n,)`` or ``(n, 1)``; row *i* is the newest
-        token of the session occupying ``cache`` slot ``slots[i]``.  One
-        forward advances all sessions together (per-session positions come
-        from the cache), with per-session logits matching
-        :meth:`forward_incremental` on the session alone.
+        token of the paged-cache session ``session_ids[i]``.  One forward
+        advances all sessions together (per-session positions come from the
+        cache), with per-session logits matching :meth:`forward_incremental`
+        on the session alone.
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim == 1:
             token_ids = token_ids[:, None]
         embeddings = self.token_embedding(token_ids)
-        features = self.backbone.forward_step(embeddings, cache, slots)
+        features = self.backbone.forward_step(embeddings, cache, session_ids)
         return self.lm_head(features)
 
     def forward_embeddings(self, embeddings: Tensor, causal: bool = True) -> Tensor:

@@ -49,12 +49,17 @@ from .layers import (
 )
 from .conv import Conv1D, PatchImageEncoder, TemporalConvEncoder
 from .attention import (
-    BatchedKVCache,
-    BatchedLayerKVCache,
     KVCache,
     LayerKVCache,
     MultiHeadAttention,
     causal_mask,
+)
+from .paged_cache import (
+    DEFAULT_BLOCK_SIZE,
+    BlockAllocator,
+    PagedKVCache,
+    PagedLayerKVCache,
+    PagedStepContext,
 )
 from .transformer import FeedForward, TransformerBackbone, TransformerBlock
 from .rnn import LSTM, LSTMCell
@@ -72,8 +77,9 @@ __all__ = [
     "Dropout", "Embedding", "GELU", "LayerNorm", "Linear", "MLP", "Module", "ModuleList",
     "Parameter", "ReLU", "Sequential", "Tanh",
     "Conv1D", "PatchImageEncoder", "TemporalConvEncoder",
-    "BatchedKVCache", "BatchedLayerKVCache",
     "KVCache", "LayerKVCache", "MultiHeadAttention", "causal_mask",
+    "DEFAULT_BLOCK_SIZE", "BlockAllocator",
+    "PagedKVCache", "PagedLayerKVCache", "PagedStepContext",
     "FeedForward", "TransformerBackbone", "TransformerBlock",
     "LSTM", "LSTMCell",
     "GraphConv", "GraphEncoder", "normalized_adjacency",

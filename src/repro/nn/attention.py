@@ -129,168 +129,6 @@ class KVCache:
             layer.reset()
 
 
-class BatchedLayerKVCache:
-    """Slot-packed key/value storage of one attention layer.
-
-    Arrays have shape ``(slots, num_heads, capacity, head_dim)``: each *slot*
-    holds the cached history of one independent decoding session.  Per-slot
-    lengths live on the owning :class:`BatchedKVCache` (they are shared by
-    every layer); the padded region is kept zero-filled so masked attention
-    over a ragged batch never touches uninitialized memory.
-    """
-
-    __slots__ = ("_keys", "_values")
-
-    def __init__(self) -> None:
-        self._keys: Optional[np.ndarray] = None
-        self._values: Optional[np.ndarray] = None
-
-    @property
-    def capacity(self) -> int:
-        return 0 if self._keys is None else self._keys.shape[2]
-
-    def ensure(self, slots: int, heads: int, head_dim: int, capacity: int,
-               dtype: np.dtype) -> None:
-        if self._keys is not None and self._keys.shape[2] >= capacity:
-            return
-        new_capacity = max(16, capacity, 2 * self.capacity)
-        keys = np.zeros((slots, heads, new_capacity, head_dim), dtype=dtype)
-        values = np.zeros_like(keys)
-        if self._keys is not None:
-            keys[:, :, :self._keys.shape[2]] = self._keys
-            values[:, :, :self._values.shape[2]] = self._values
-        self._keys, self._values = keys, values
-
-    def load_slot(self, slot: int, keys: np.ndarray, values: np.ndarray) -> None:
-        """Copy a prefilled single-session history ``(heads, seq, head_dim)``."""
-        length = keys.shape[1]
-        self._keys[slot, :, :length] = keys
-        self._values[slot, :, :length] = values
-
-    def clear_slot(self, slot: int) -> None:
-        # Zero (not just forget) so padded attention over a shorter neighbour
-        # never mixes stale non-finite values into masked-out scores.
-        self._keys[slot] = 0.0
-        self._values[slot] = 0.0
-
-    def append_step(self, slots: np.ndarray, positions: np.ndarray,
-                    keys: np.ndarray, values: np.ndarray
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Write one new token per active slot; return the full packed arrays.
-
-        ``keys``/``values`` have shape ``(len(slots), heads, head_dim)`` and
-        are written at ``positions[i]`` of ``slots[i]``.
-        """
-        self._keys[slots, :, positions] = keys
-        self._values[slots, :, positions] = values
-        return self._keys, self._values
-
-    def gather(self, slots: np.ndarray, max_len: int
-               ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-slot histories ``(n, heads, max_len, head_dim)`` for attention.
-
-        When the active slots are exactly ``0..n-1`` (the common compact case
-        — the free list hands out the lowest slot first) this is a zero-copy
-        basic slice; otherwise a fancy-index gather.
-        """
-        n = len(slots)
-        if np.array_equal(slots, _position_range(n)):
-            return self._keys[:n, :, :max_len], self._values[:n, :, :max_len]
-        return self._keys[slots, :, :max_len], self._values[slots, :, :max_len]
-
-
-class BatchedKVCache:
-    """Multi-session KV cache driving batched single-token decoding.
-
-    One instance advances up to ``max_slots`` independent sessions per forward
-    step: slot *i* has its own history length, so sessions with different
-    prompt lengths (admitted and evicted at different times — continuous
-    batching) coexist in one packed array.  The batched attention path masks
-    each slot's padding, keeping per-slot logits identical to running the
-    session alone through a single-session :class:`KVCache`.
-    """
-
-    def __init__(self, num_layers: int, max_slots: int) -> None:
-        if max_slots < 1:
-            raise ValueError("max_slots must be >= 1")
-        self.max_slots = max_slots
-        self.lengths = np.zeros(max_slots, dtype=np.int64)
-        self.layers: List[BatchedLayerKVCache] = [
-            BatchedLayerKVCache() for _ in range(num_layers)]
-        self._free: List[int] = list(range(max_slots - 1, -1, -1))  # pop() -> slot 0 first
-
-    @property
-    def num_layers(self) -> int:
-        return len(self.layers)
-
-    @property
-    def num_free(self) -> int:
-        return len(self._free)
-
-    def _ensure_capacity(self, capacity: int, heads: int, head_dim: int,
-                         dtype: np.dtype) -> None:
-        for layer in self.layers:
-            layer.ensure(self.max_slots, heads, head_dim, capacity, dtype)
-
-    def admit(self, cache: KVCache, row: int = 0) -> int:
-        """Copy one prefilled session out of ``cache`` into a free slot.
-
-        Prompts are prefilled through the ordinary cache path
-        (:meth:`TransformerBackbone.forward` with ``cache=``); admission then
-        packs the resulting per-layer keys/values next to the sessions already
-        in flight.  ``row`` selects the session when several equal-length
-        prompts were prefilled together in one batched forward.  Returns the
-        assigned slot index.
-        """
-        if cache.num_layers != self.num_layers:
-            raise ValueError(
-                f"session cache has {cache.num_layers} layers but the batched "
-                f"cache has {self.num_layers}")
-        length = cache.seq_len
-        if length < 1:
-            raise ValueError("cannot admit an empty session cache; prefill first")
-        if not self._free:
-            raise RuntimeError("no free slots; evict a session first")
-        template = cache.layers[0].keys
-        if not 0 <= row < template.shape[0]:
-            raise ValueError(f"row {row} outside prefilled batch of {template.shape[0]}")
-        slot = self._free.pop()
-        self._ensure_capacity(length, template.shape[1], template.shape[3],
-                              template.dtype)
-        for source, target in zip(cache.layers, self.layers):
-            target.load_slot(slot, source.keys[row], source.values[row])
-        self.lengths[slot] = length
-        return slot
-
-    def evict(self, slot: int) -> None:
-        """Release a slot (session finished or cancelled)."""
-        if slot in self._free:
-            raise ValueError(f"slot {slot} is already free")
-        self.lengths[slot] = 0
-        for layer in self.layers:
-            layer.clear_slot(slot)
-        self._free.append(slot)
-        # Keep handing out the lowest slot first: active slots stay packed at
-        # the front, which keeps the zero-copy gather fast path hot.
-        self._free.sort(reverse=True)
-
-    def prepare_step(self, slots: np.ndarray) -> np.ndarray:
-        """Grow capacity for one more token on ``slots``; return their positions."""
-        positions = self.lengths[slots]
-        if len(positions) == 0:
-            raise ValueError("prepare_step called with no active slots")
-        template = self.layers[0]._keys
-        if template is None:
-            raise RuntimeError("batched cache has no admitted sessions")
-        self._ensure_capacity(int(positions.max()) + 1, template.shape[1],
-                              template.shape[3], template.dtype)
-        return positions
-
-    def commit_step(self, slots: np.ndarray) -> None:
-        """Advance the per-slot lengths after every layer has appended."""
-        self.lengths[slots] += 1
-
-
 class MultiHeadAttention(Module):
     """Multi-head scaled dot-product attention.
 
@@ -386,17 +224,19 @@ class MultiHeadAttention(Module):
         merged = np.swapaxes(context, 1, 2).reshape(batch, new, self.d_model)
         return self.out_proj(Tensor(merged, dtype=merged.dtype))
 
-    def forward_step(self, x: Tensor, layer_cache: BatchedLayerKVCache,
-                     slots: np.ndarray, positions: np.ndarray) -> Tensor:
-        """Batched single-token decoding step over independent sessions.
+    def forward_step(self, x: Tensor, layer_cache, step) -> Tensor:
+        """Batched single-token decoding step over independent paged sessions.
 
         ``x`` holds one new token per active session, ``(n, 1, d_model)``;
-        row *i* belongs to slot ``slots[i]`` whose cached history has length
-        ``positions[i]``.  The key/value projections are scattered into the
-        packed cache and each row attends over exactly its own history plus
-        the new token — ragged lengths are masked with ``-inf`` so padded
-        positions contribute exact zeros, keeping per-session logits equal to
-        a single-session :meth:`_forward_cached` step.
+        ``layer_cache`` is this layer's
+        :class:`~repro.nn.paged_cache.PagedLayerKVCache` and ``step`` the
+        :class:`~repro.nn.paged_cache.PagedStepContext` describing where each
+        session's new token lands and which blocks cover its history.  The
+        key/value projections are scattered into the session's tail block and
+        each row attends over its own gathered block table — positions past a
+        session's length (block padding and shorter neighbours) are masked
+        with ``-inf`` so they contribute exact zeros, keeping per-session
+        logits equal to a single-session :meth:`_forward_cached` step.
         """
         self._check_cached_preconditions()
         n, new, _ = x.shape
@@ -406,14 +246,14 @@ class MultiHeadAttention(Module):
         q = self._split_heads(self.q_proj(x), n, 1).data
         k = self._split_heads(self.k_proj(x), n, 1).data
         v = self._split_heads(self.v_proj(x), n, 1).data
-        layer_cache.append_step(slots, positions, k[:, :, 0, :], v[:, :, 0, :])
+        layer_cache.append_step(step.write_blocks, step.write_offsets,
+                                k[:, :, 0, :], v[:, :, 0, :])
 
-        totals = positions + 1  # per-session history length including the new token
-        max_len = int(totals.max())
-        gathered_keys, gathered_values = layer_cache.gather(slots, max_len)
+        gathered_keys, gathered_values = layer_cache.gather(step.tables)
         scores = (q @ np.swapaxes(gathered_keys, -1, -2)) * (1.0 / float(np.sqrt(self.head_dim)))
-        if int(totals.min()) != max_len:  # ragged batch: mask each row's padding
-            padded = _position_range(max_len)[None, :] >= totals[:, None]  # (n, max_len)
+        totals = step.totals
+        if int(totals.min()) != step.gathered_len:  # mask block padding + ragged rows
+            padded = _position_range(step.gathered_len)[None, :] >= totals[:, None]
             scores = np.where(padded[:, None, None, :], -np.inf, scores)
         shifted = scores - scores.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)

@@ -1,0 +1,582 @@
+"""Paged key/value storage for multi-session decoding (vLLM-style).
+
+The slot-packed batched cache this module replaces reserved one fixed-size
+``(heads, max_context, head_dim)`` strip per session, so memory scaled with
+``max_batch × max_context`` even when most sessions were short, and a slot
+could never lend its unused tail to a longer neighbour.  Here the per-layer
+K/V of *all* sessions live in one pool of fixed-size **blocks** (``block_size``
+tokens each):
+
+* :class:`BlockAllocator` owns the pool — free-list reuse, a lazily grown
+  high-water mark (storage is only materialized for blocks that have actually
+  been touched) and per-block reference counts so several sessions can map the
+  same physical block (shared prompt prefixes, forked sessions).
+* :class:`PagedLayerKVCache` holds one layer's K/V arrays, indexed by block.
+* :class:`PagedKVCache` keeps a **block table** per session (the ordered block
+  ids covering its history) and turns a batch of session ids into a
+  :class:`PagedStepContext` — the gather/scatter plan one batched decode step
+  needs.  Writes into a block referenced by more than one session first copy
+  it (copy-on-write), so shared blocks are never mutated under a neighbour.
+
+Attention gathers each session's history with one fancy index over the block
+axis (``keys[tables]``), which pads every row to a whole number of blocks;
+the padded tail is masked with ``-inf`` exactly like ragged batches were in
+the slot-packed design, keeping per-session logits identical to a
+single-session :class:`KVCache` decode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attention import KVCache
+
+#: Default tokens per block — small enough that short sessions waste little,
+#: large enough that block tables and gathers stay cheap.
+DEFAULT_BLOCK_SIZE = 16
+
+
+class BlockAllocator:
+    """Fixed-size block pool with free-list reuse and reference counting.
+
+    ``num_blocks`` is a hard capacity cap; storage in the layer caches only
+    grows to the *high-water mark* — the largest block id ever handed out —
+    so a pool sized for the worst case costs nothing until traffic needs it.
+    """
+
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.refcounts = np.zeros(num_blocks, dtype=np.int64)
+        self._free: List[int] = []  # released ids; kept sorted, pop() -> lowest
+        self._next = 0  # high-water mark: ids >= _next were never allocated
+        self._in_use = 0
+
+    @property
+    def high_water(self) -> int:
+        """Largest number of blocks ever live at once (storage follows this)."""
+        return self._next
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def blocks_free(self) -> int:
+        return self.num_blocks - self._in_use
+
+    def allocate(self) -> int:
+        """Hand out one block (refcount 1), reusing freed ids lowest-first."""
+        if self._free:
+            block = self._free.pop()
+        elif self._next < self.num_blocks:
+            block = self._next
+            self._next += 1
+        else:
+            raise RuntimeError(
+                f"out of KV-cache blocks ({self.num_blocks} x {self.block_size} "
+                f"tokens all in use); evict a session first")
+        self.refcounts[block] = 1
+        self._in_use += 1
+        return block
+
+    def share(self, block: int) -> None:
+        """Add a reference to an already-live block (prefix reuse / fork)."""
+        if self.refcounts[block] < 1:
+            raise ValueError(f"cannot share block {block}: it is not allocated")
+        self.refcounts[block] += 1
+
+    def release(self, block: int) -> bool:
+        """Drop one reference; return True when the block actually freed."""
+        count = int(self.refcounts[block])
+        if count < 1:
+            raise ValueError(f"double free of block {block}")
+        self.refcounts[block] = count - 1
+        if count == 1:
+            self._free.append(block)
+            # Lowest-id-first reuse keeps live blocks packed at the front, so
+            # the lazily grown storage arrays stay as small as possible.
+            self._free.sort(reverse=True)
+            self._in_use -= 1
+            return True
+        return False
+
+
+class PagedLayerKVCache:
+    """One attention layer's K/V arrays, block-indexed.
+
+    Arrays have shape ``(blocks, num_heads, block_size, head_dim)`` and grow
+    geometrically to the allocator's high-water mark.  Storage is zero-filled
+    and freed blocks are re-zeroed, so gathering a padded block never mixes
+    stale non-finite values into masked-out attention scores.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self) -> None:
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+
+    @property
+    def capacity_blocks(self) -> int:
+        return 0 if self._keys is None else self._keys.shape[0]
+
+    def ensure(self, blocks: int, heads: int, block_size: int, head_dim: int,
+               dtype: np.dtype) -> None:
+        if self._keys is not None and self._keys.shape[0] >= blocks:
+            return
+        new_capacity = max(4, blocks, 2 * self.capacity_blocks)
+        keys = np.zeros((new_capacity, heads, block_size, head_dim), dtype=dtype)
+        values = np.zeros_like(keys)
+        if self._keys is not None:
+            keys[:self._keys.shape[0]] = self._keys
+            values[:self._values.shape[0]] = self._values
+        self._keys, self._values = keys, values
+
+    def write_blocks(self, block_ids: Sequence[int], keys: np.ndarray,
+                     values: np.ndarray) -> None:
+        """Lay a contiguous ``(heads, length, head_dim)`` history out in blocks.
+
+        ``block_ids[j]`` receives tokens ``[j*block_size, (j+1)*block_size)``;
+        the final block may be partially filled.
+        """
+        block_size = self._keys.shape[2]
+        length = keys.shape[1]
+        for j, block in enumerate(block_ids):
+            start = j * block_size
+            took = min(block_size, length - start)
+            self._keys[block, :, :took] = keys[:, start:start + took]
+            self._values[block, :, :took] = values[:, start:start + took]
+
+    def copy_block(self, source: int, target: int) -> None:
+        """Clone a block's contents (the copy half of copy-on-write)."""
+        self._keys[target] = self._keys[source]
+        self._values[target] = self._values[source]
+
+    def clear_block(self, block: int) -> None:
+        self._keys[block] = 0.0
+        self._values[block] = 0.0
+
+    def append_step(self, blocks: np.ndarray, offsets: np.ndarray,
+                    keys: np.ndarray, values: np.ndarray) -> None:
+        """Write one new token per session at ``(blocks[i], offsets[i])``.
+
+        ``keys``/``values`` have shape ``(n, heads, head_dim)``.
+        """
+        self._keys[blocks, :, offsets] = keys
+        self._values[blocks, :, offsets] = values
+
+    def read_blocks(self, block_ids: Sequence[int]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(heads, len(block_ids)*block_size, head_dim)`` copies
+        of the listed blocks' K/V (the inverse of :meth:`write_blocks`)."""
+        index = np.asarray(block_ids, dtype=np.int64)
+        _, heads, block_size, head_dim = self._keys.shape
+        keys = self._keys[index].transpose(1, 0, 2, 3).reshape(
+            heads, len(index) * block_size, head_dim)
+        values = self._values[index].transpose(1, 0, 2, 3).reshape(
+            heads, len(index) * block_size, head_dim)
+        return keys, values
+
+    def gather(self, tables: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-session histories for attention, gathered via block tables.
+
+        ``tables`` is ``(n, max_blocks)`` — each row a session's block ids,
+        padded with any valid id (padded positions are masked by the caller).
+        Returns ``(n, heads, max_blocks*block_size, head_dim)`` arrays.
+        """
+        n, max_blocks = tables.shape
+        _, heads, block_size, head_dim = self._keys.shape
+        keys = self._keys[tables]      # (n, max_blocks, heads, block, head_dim)
+        values = self._values[tables]
+        keys = keys.transpose(0, 2, 1, 3, 4).reshape(
+            n, heads, max_blocks * block_size, head_dim)
+        values = values.transpose(0, 2, 1, 3, 4).reshape(
+            n, heads, max_blocks * block_size, head_dim)
+        return keys, values
+
+
+class PagedStepContext:
+    """Gather/scatter plan for one batched decode step over the paged cache.
+
+    Built by :meth:`PagedKVCache.prepare_step` (which also performs any block
+    allocation and copy-on-write the step needs) and consumed by every
+    attention layer, so the per-step table padding happens once, not per layer.
+    """
+
+    __slots__ = ("session_ids", "tables", "write_blocks", "write_offsets",
+                 "totals", "gathered_len")
+
+    def __init__(self, session_ids: np.ndarray, tables: np.ndarray,
+                 write_blocks: np.ndarray, write_offsets: np.ndarray,
+                 totals: np.ndarray, block_size: int) -> None:
+        self.session_ids = session_ids
+        self.tables = tables                #: (n, max_blocks) padded block ids
+        self.write_blocks = write_blocks    #: (n,) block receiving the new token
+        self.write_offsets = write_offsets  #: (n,) offset within that block
+        self.totals = totals                #: (n,) history length incl. new token
+        #: Length of the gathered (block-padded) attention window.
+        self.gathered_len = int(tables.shape[1]) * block_size
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Global position of each session's new token (its previous length)."""
+        return self.totals - 1
+
+
+class PagedKVCache:
+    """Multi-session KV cache over a shared block pool.
+
+    Each admitted session gets a monotonically increasing integer id and a
+    *block table* — the ordered block ids covering its token history.  Unlike
+    the slot-packed design there is no per-session capacity reservation: a
+    session holds exactly ``ceil(len/block_size)`` blocks, short sessions
+    stay cheap, and the number of concurrently decodable sessions is bounded
+    by total blocks, not by a fixed slot count.
+
+    Sharing: :meth:`admit` can map already-filled blocks (a cached prompt
+    prefix) into a new session's table, and :meth:`fork` clones a whole
+    session, both by bumping block refcounts instead of copying.  Any write
+    into a block with refcount > 1 triggers copy-on-write in
+    :meth:`prepare_step`, so sharing is invisible to correctness.
+    """
+
+    def __init__(self, num_layers: int, max_blocks: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.allocator = BlockAllocator(max_blocks, block_size)
+        self.layers: List[PagedLayerKVCache] = [
+            PagedLayerKVCache() for _ in range(num_layers)]
+        self._tables: Dict[int, List[int]] = {}
+        self._lengths: Dict[int, int] = {}
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def block_size(self) -> int:
+        return self.allocator.block_size
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self._tables)
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.allocator.blocks_in_use
+
+    @property
+    def blocks_free(self) -> int:
+        return self.allocator.blocks_free
+
+    def length(self, session_id: int) -> int:
+        return self._lengths[session_id]
+
+    def table(self, session_id: int) -> Tuple[int, ...]:
+        return tuple(self._tables[session_id])
+
+    def blocks_needed(self, length: int) -> int:
+        return -(-length // self.block_size)
+
+    # ------------------------------------------------------------------ #
+    def _ensure_storage(self, heads: int, head_dim: int, dtype: np.dtype) -> None:
+        for layer in self.layers:
+            layer.ensure(self.allocator.high_water, heads, self.block_size,
+                         head_dim, dtype)
+
+    def _allocate_many(self, count: int) -> List[int]:
+        """Allocate ``count`` blocks atomically (roll back on exhaustion)."""
+        blocks: List[int] = []
+        try:
+            for _ in range(count):
+                blocks.append(self.allocator.allocate())
+        except RuntimeError:
+            for block in blocks:
+                self.allocator.release(block)
+            raise
+        return blocks
+
+    def admit(self, cache: KVCache, row: int = 0, length: Optional[int] = None,
+              shared_blocks: Sequence[int] = ()) -> int:
+        """Map one prefilled session into the pool; return its session id.
+
+        ``cache`` is the single-session :class:`KVCache` the prompt was
+        prefilled through; ``row`` selects the session when several prompts
+        were prefilled together.  ``length`` trims a right-padded batched
+        prefill to the session's true history (default: the full cache
+        length).  ``shared_blocks`` maps already-filled *full* blocks — a
+        cached common prefix — into the head of the new session's table
+        without copying; ``cache`` must still contain the complete history
+        (prefix included) so the fresh tail can be copied from it.
+        """
+        template = cache.layers[0].keys if cache.layers else None
+        if template is not None and not 0 <= row < template.shape[0]:
+            raise ValueError(f"row {row} outside prefilled batch of {template.shape[0]}")
+        return self.admit_rows(cache, rows=[row],
+                               lengths=None if length is None else [length],
+                               shared_blocks=shared_blocks)[0]
+
+    def admit_rows(self, cache: KVCache, rows: Optional[Sequence[int]] = None,
+                   lengths: Optional[Sequence[int]] = None,
+                   shared_blocks: Sequence[int] = ()) -> List[int]:
+        """Map several rows of one batched prefill into the pool at once.
+
+        The whole group's fresh key/value history is laid out into blocks
+        with one scatter per layer (instead of per-session per-block copies),
+        which is what keeps ragged batched admission cheap.  ``lengths[i]``
+        trims row ``rows[i]`` of the (right-padded) prefill to its true
+        history; ``shared_blocks`` is prepended to every admitted session's
+        table by reference (see :meth:`admit`).  Returns the session ids in
+        row order.
+        """
+        if cache.num_layers != self.num_layers:
+            raise ValueError(
+                f"session cache has {cache.num_layers} layers but the paged "
+                f"cache has {self.num_layers}")
+        full = cache.seq_len
+        if full < 1:
+            raise ValueError("cannot admit an empty session cache; prefill first")
+        batch = cache.layers[0].keys.shape[0]
+        rows = list(range(batch)) if rows is None else list(rows)
+        if not rows:
+            return []
+        for row in rows:
+            if not 0 <= row < batch:
+                raise ValueError(f"row {row} outside prefilled batch of {batch}")
+        lengths = [full] * len(rows) if lengths is None else list(lengths)
+        if len(lengths) != len(rows):
+            raise ValueError(f"{len(lengths)} lengths for {len(rows)} rows")
+        shared = list(shared_blocks)
+        shared_len = len(shared) * self.block_size
+        for length in lengths:
+            if not 1 <= length <= full:
+                raise ValueError(f"length {length} outside prefilled range 1..{full}")
+            if shared_len >= length:
+                raise ValueError(
+                    f"{len(shared)} shared blocks cover {shared_len} tokens but "
+                    f"the session is only {length} long; at least one fresh "
+                    f"token is required")
+        template = cache.layers[0].keys
+        block_size = self.block_size
+
+        fresh_counts = [self.blocks_needed(length - shared_len) for length in lengths]
+        fresh = self._allocate_many(sum(fresh_counts))
+        for _ in rows:
+            for block in shared:
+                self.allocator.share(block)
+        self._ensure_storage(template.shape[1], template.shape[3], template.dtype)
+
+        # One scatter per layer: gather the group's fresh token range, pad it
+        # to whole blocks, fold into (row, block, heads, block_size, head_dim)
+        # and write every session's blocks with a single fancy index.
+        rows_index = np.asarray(rows, dtype=np.int64)
+        max_blocks = max(fresh_counts)
+        padded_len = max_blocks * block_size
+        valid = np.zeros((len(rows), max_blocks), dtype=bool)
+        for i, count in enumerate(fresh_counts):
+            valid[i, :count] = True
+        targets = np.asarray(fresh, dtype=np.int64)
+        n, heads, _, head_dim = template.shape
+        for source, layer in zip(cache.layers, self.layers):
+            for source_array, storage in ((source.keys, layer._keys),
+                                          (source.values, layer._values)):
+                chunk = source_array[rows_index, :, shared_len:shared_len + padded_len]
+                take = chunk.shape[2]
+                folded = np.zeros((len(rows), heads, padded_len, head_dim),
+                                  dtype=chunk.dtype)
+                folded[:, :, :take] = chunk
+                folded = folded.reshape(len(rows), heads, max_blocks, block_size,
+                                        head_dim).transpose(0, 2, 1, 3, 4)
+                storage[targets] = folded[valid]
+
+        session_ids = []
+        offset = 0
+        for length, count in zip(lengths, fresh_counts):
+            session_id = next(self._ids)
+            self._tables[session_id] = shared + fresh[offset:offset + count]
+            self._lengths[session_id] = length
+            session_ids.append(session_id)
+            offset += count
+        return session_ids
+
+    def register_blocks(self, keys_per_layer: Sequence[np.ndarray],
+                        values_per_layer: Sequence[np.ndarray]) -> List[int]:
+        """Fill fresh blocks with a block-aligned history owned by the caller.
+
+        ``keys_per_layer[l]``/``values_per_layer[l]`` are contiguous
+        ``(heads, length, head_dim)`` arrays with ``length`` a multiple of
+        the block size.  Used by the shared-prefix cache to park a common
+        prompt head in the pool outside any session; sessions then map the
+        returned blocks via :meth:`admit`'s ``shared_blocks``.  The caller
+        holds one reference per block until :meth:`release_blocks`.
+        """
+        if len(keys_per_layer) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} layers of keys, "
+                             f"got {len(keys_per_layer)}")
+        length = keys_per_layer[0].shape[1]
+        if length < 1 or length % self.block_size:
+            raise ValueError(f"registered history length {length} must be a "
+                             f"positive multiple of block size {self.block_size}")
+        blocks = self._allocate_many(length // self.block_size)
+        template = keys_per_layer[0]
+        for layer in self.layers:
+            layer.ensure(self.allocator.high_water, template.shape[0],
+                         self.block_size, template.shape[2], template.dtype)
+        for layer, keys, values in zip(self.layers, keys_per_layer, values_per_layer):
+            layer.write_blocks(blocks, keys, values)
+        return blocks
+
+    def release_blocks(self, block_ids: Sequence[int]) -> None:
+        """Drop the caller's reference on externally held blocks."""
+        for block in block_ids:
+            if self.allocator.release(block):
+                for layer in self.layers:
+                    layer.clear_block(block)
+
+    def fork(self, session_id: int) -> int:
+        """Clone a session by sharing its blocks (copy-on-write protected)."""
+        table = self._tables[session_id]
+        for block in table:
+            self.allocator.share(block)
+        clone = next(self._ids)
+        self._tables[clone] = list(table)
+        self._lengths[clone] = self._lengths[session_id]
+        return clone
+
+    def evict(self, session_id: int) -> None:
+        """Release a session's blocks back to the pool."""
+        if session_id not in self._tables:
+            raise ValueError(f"session {session_id} is not live (double evict?)")
+        for block in self._tables.pop(session_id):
+            if self.allocator.release(block):
+                for layer in self.layers:
+                    layer.clear_block(block)
+        del self._lengths[session_id]
+
+    # ------------------------------------------------------------------ #
+    def prepare_step(self, session_ids: np.ndarray) -> PagedStepContext:
+        """Build the step plan for one new token on each listed session.
+
+        Allocates a fresh block for sessions whose length is at a block
+        boundary; copies the tail block of sessions whose tail is shared
+        (copy-on-write) so the write below cannot leak into a sibling.
+        Allocation is all-or-nothing: on pool exhaustion no table is touched,
+        so the caller can evict a session and retry the step safely.
+        """
+        session_ids = np.asarray(session_ids, dtype=np.int64)
+        n = len(session_ids)
+        if n == 0:
+            raise ValueError("prepare_step called with no active sessions")
+        block_size = self.block_size
+        write_blocks = np.empty(n, dtype=np.int64)
+        write_offsets = np.empty(n, dtype=np.int64)
+        totals = np.empty(n, dtype=np.int64)
+        # Plan first: which sessions need a fresh block (boundary append or
+        # copy-on-write split of a shared tail)?
+        needs_fresh: List[int] = []
+        for i, sid in enumerate(session_ids):
+            sid = int(sid)
+            if sid not in self._tables:
+                raise ValueError(f"session {sid} is not live")
+            offset = self._lengths[sid] % block_size
+            if offset == 0 or self.allocator.refcounts[self._tables[sid][-1]] > 1:
+                needs_fresh.append(i)
+        fresh = self._allocate_many(len(needs_fresh))  # atomic: rolls back on exhaustion
+        self._ensure_storage(*self._template_dims())
+        fresh_by_index = dict(zip(needs_fresh, fresh))
+        for i, sid in enumerate(session_ids):
+            sid = int(sid)
+            table = self._tables[sid]
+            position = self._lengths[sid]
+            offset = position % block_size
+            if offset == 0:
+                table.append(fresh_by_index[i])
+            elif i in fresh_by_index:
+                # Copy-on-write: the partially filled tail block is shared
+                # (forked session / partial prefix); give this session its
+                # own copy before the new token lands in it.
+                replacement = fresh_by_index[i]
+                for layer in self.layers:
+                    layer.copy_block(table[-1], replacement)
+                if self.allocator.release(table[-1]):
+                    # Last reference died during the split (e.g. the sibling
+                    # already copy-on-wrote its own tail this same step):
+                    # keep the freed-blocks-are-zeroed invariant.
+                    for layer in self.layers:
+                        layer.clear_block(table[-1])
+                table[-1] = replacement
+            write_blocks[i] = table[-1]
+            write_offsets[i] = offset
+            totals[i] = position + 1
+        max_blocks = max(len(self._tables[int(sid)]) for sid in session_ids)
+        tables = np.zeros((n, max_blocks), dtype=np.int64)
+        for i, sid in enumerate(session_ids):
+            row = self._tables[int(sid)]
+            tables[i, :len(row)] = row
+        return PagedStepContext(session_ids, tables, write_blocks,
+                                write_offsets, totals, block_size)
+
+    def _template_dims(self) -> Tuple[int, int, np.dtype]:
+        template = self.layers[0]._keys
+        if template is None:
+            raise RuntimeError("paged cache has no admitted sessions")
+        return template.shape[1], template.shape[3], template.dtype
+
+    def commit_step(self, session_ids: np.ndarray) -> None:
+        """Advance the per-session lengths after every layer has written."""
+        for sid in session_ids:
+            self._lengths[int(sid)] += 1
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self, external_refs: Optional[Dict[int, int]] = None) -> None:
+        """Assert pool-accounting consistency (used by the stress tests).
+
+        ``external_refs`` maps block id -> references held outside any
+        session table (e.g. by a prefix cache).  Raises ``AssertionError``
+        with a description on the first violated invariant.
+        """
+        alloc = self.allocator
+        table_refs = np.zeros(alloc.num_blocks, dtype=np.int64)
+        for sid, table in self._tables.items():
+            assert len(table) == self.blocks_needed(self._lengths[sid]), (
+                f"session {sid}: {len(table)} blocks for length "
+                f"{self._lengths[sid]} (block_size {self.block_size})")
+            for block in table:
+                table_refs[block] += 1
+        for block, count in (external_refs or {}).items():
+            table_refs[block] += count
+        live = np.flatnonzero(alloc.refcounts > 0)
+        assert np.array_equal(table_refs, alloc.refcounts), (
+            "refcount mismatch: counted "
+            f"{table_refs[live].tolist()} vs recorded "
+            f"{alloc.refcounts[live].tolist()} on live blocks {live.tolist()}")
+        free = set(alloc._free)
+        assert len(free) == len(alloc._free), "free list contains duplicates"
+        for block in free:
+            assert alloc.refcounts[block] == 0, (
+                f"block {block} is both free and referenced")
+            assert block < alloc.high_water, (
+                f"block {block} freed beyond the high-water mark {alloc.high_water}")
+        assert alloc.blocks_in_use == len(live), (
+            f"in-use counter {alloc.blocks_in_use} != {len(live)} live blocks")
+        assert alloc.blocks_in_use + len(free) == alloc.high_water, (
+            "allocator accounting does not balance: "
+            f"{alloc.blocks_in_use} in use + {len(free)} free != "
+            f"high water {alloc.high_water}")
+        # A block referenced exactly once belongs to exactly one table (or one
+        # external holder) — exclusive ownership; shared blocks are read-only
+        # until copy-on-write gives the writer its own copy.
+        single = np.flatnonzero(alloc.refcounts == 1)
+        owners = table_refs[single]
+        assert np.all(owners == 1), "exclusively owned block with wrong ref tally"

@@ -7,13 +7,12 @@ from typing import Optional
 
 import numpy as np
 
-from .attention import (
-    BatchedKVCache,
-    BatchedLayerKVCache,
-    KVCache,
-    LayerKVCache,
-    MultiHeadAttention,
-    causal_mask,
+from .attention import KVCache, LayerKVCache, MultiHeadAttention, causal_mask
+from .paged_cache import (
+    DEFAULT_BLOCK_SIZE,
+    PagedKVCache,
+    PagedLayerKVCache,
+    PagedStepContext,
 )
 from .layers import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
 from .lora import LoRALinear
@@ -71,10 +70,10 @@ class TransformerBlock(Module):
         x = x + self.mlp(self.norm2(x))
         return x
 
-    def forward_step(self, x: Tensor, layer_cache: BatchedLayerKVCache,
-                     slots: np.ndarray, positions: np.ndarray) -> Tensor:
+    def forward_step(self, x: Tensor, layer_cache: PagedLayerKVCache,
+                     step: PagedStepContext) -> Tensor:
         """Batched multi-session single-token step (see ``MultiHeadAttention.forward_step``)."""
-        x = x + self.attention.forward_step(self.norm1(x), layer_cache, slots, positions)
+        x = x + self.attention.forward_step(self.norm1(x), layer_cache, step)
         x = x + self.mlp(self.norm2(x))
         return x
 
@@ -117,40 +116,43 @@ class TransformerBackbone(Module):
         """Return a fresh, empty KV cache sized for this backbone."""
         return KVCache(len(self.blocks))
 
-    def init_batched_cache(self, max_slots: int) -> BatchedKVCache:
-        """Return an empty multi-session KV cache with ``max_slots`` slots."""
-        return BatchedKVCache(len(self.blocks), max_slots)
+    def init_paged_cache(self, max_blocks: int,
+                         block_size: int = DEFAULT_BLOCK_SIZE) -> PagedKVCache:
+        """Return an empty paged multi-session KV cache for this backbone."""
+        return PagedKVCache(len(self.blocks), max_blocks, block_size=block_size)
 
-    def forward_step(self, embeddings: Tensor, cache: BatchedKVCache,
-                     slots: np.ndarray) -> Tensor:
-        """Advance ``len(slots)`` independent sessions by one token each.
+    def forward_step(self, embeddings: Tensor, cache: PagedKVCache,
+                     session_ids: np.ndarray) -> Tensor:
+        """Advance ``len(session_ids)`` independent sessions by one token each.
 
         ``embeddings`` is ``(n, 1, d_model)``; row *i* is the newest token of
-        the session in ``slots[i]``.  Each session keeps its own position
-        (the length of its cached history), so sessions admitted at different
-        times — with different prompt lengths — decode together in a single
-        batched forward with per-session positional embeddings.  The cache is
-        updated in place and the per-slot lengths advance by one.
+        the paged-cache session ``session_ids[i]``.  Each session keeps its
+        own position (the length of its cached history), so sessions admitted
+        at different times — with different prompt lengths — decode together
+        in a single batched forward with per-session positional embeddings.
+        The cache is updated in place (allocating or copy-on-writing tail
+        blocks as needed) and the per-session lengths advance by one.
         """
-        slots = np.asarray(slots, dtype=np.int64)
+        session_ids = np.asarray(session_ids, dtype=np.int64)
         n, seq, d_model = embeddings.shape
         if d_model != self.d_model:
             raise ValueError(f"expected embedding dim {self.d_model}, got {d_model}")
         if seq != 1:
             raise ValueError("forward_step consumes one token per session")
-        if n != len(slots):
-            raise ValueError(f"{n} embedding rows for {len(slots)} slots")
-        if len(slots) != len(set(slots.tolist())):
-            raise ValueError("duplicate slots in one batched step")
-        positions = cache.prepare_step(slots)
-        if np.any(positions + 1 > self.max_seq_len):
-            worst = int(positions.max()) + 1
+        if n != len(session_ids):
+            raise ValueError(f"{n} embedding rows for {len(session_ids)} sessions")
+        if len(session_ids) != len(set(session_ids.tolist())):
+            raise ValueError("duplicate sessions in one batched step")
+        worst = max(cache.length(int(sid)) for sid in session_ids) + 1
+        if worst > self.max_seq_len:
             raise ValueError(f"sequence length {worst} exceeds maximum {self.max_seq_len}")
+        step = cache.prepare_step(session_ids)
+        positions = step.positions
         pos_embedding = self.position_embedding.data[positions][:, None, :]
         x = embeddings + Tensor(pos_embedding, dtype=pos_embedding.dtype)
         for block, layer_cache in zip(self.blocks, cache.layers):
-            x = block.forward_step(x, layer_cache, slots, positions)
-        cache.commit_step(slots)
+            x = block.forward_step(x, layer_cache, step)
+        cache.commit_step(session_ids)
         return self.final_norm(x)
 
     def forward(self, embeddings: Tensor, causal: bool = True,

@@ -1,11 +1,13 @@
 """``repro.serve`` — batched multi-session inference serving.
 
-The runtime substrate (``repro.nn``'s :class:`~repro.nn.BatchedKVCache` and
-the batched ``forward_step`` path) advances N independent decoding sessions
-in one forward; this package adds the serving machinery on top: a session
-manager, a continuous-batching scheduler, and the :class:`InferenceServer`
-facade with future-style request handles and a queue-level metrics surface
-(tokens/s, p50/p95 latency, batch occupancy, queue depth).
+The runtime substrate (``repro.nn``'s paged :class:`~repro.nn.PagedKVCache`
+and the batched ``forward_step`` path) advances N independent decoding
+sessions in one forward over block-granular KV storage; this package adds the
+serving machinery on top: a session manager with ragged length-bucketed
+batched prefill and a shared prompt-prefix cache (:class:`PrefixCache`), a
+continuous-batching scheduler, and the :class:`InferenceServer` facade with
+future-style request handles and a queue-level metrics surface (tokens/s,
+p50/p95 latency, batch occupancy, block occupancy, prefix hits, queue depth).
 """
 
 from .clients import (
@@ -17,12 +19,14 @@ from .clients import (
 )
 from .engine import InferenceServer, RequestHandle
 from .metrics import RequestMetrics, ServerStats
+from .prefix import PrefixCache, PrefixEntry
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .session import GenerationSession, SessionManager
 
 __all__ = [
     "ContinuousBatchingScheduler", "SchedulerPolicy",
     "GenerationSession", "SessionManager",
+    "PrefixCache", "PrefixEntry",
     "InferenceServer", "RequestHandle",
     "RequestMetrics", "ServerStats",
     "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",

@@ -117,7 +117,12 @@ class InferenceServer:
         self.policy = policy or SchedulerPolicy()
         self.model = model
         self._manager = (SessionManager(model, max_slots=self.policy.max_batch_size,
-                                        max_context=self.policy.max_context)
+                                        max_context=self.policy.max_context,
+                                        block_size=self.policy.block_size,
+                                        prefill_padding=self.policy.prefill_padding,
+                                        ragged_prefill=self.policy.ragged_prefill,
+                                        prefix_cache=self.policy.enable_prefix_cache,
+                                        max_prefixes=self.policy.max_prefixes)
                          if model is not None else None)
         self._scheduler = ContinuousBatchingScheduler(self.policy)
         self._adapters: Dict[str, Any] = dict(adapters or {})
@@ -137,6 +142,19 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Submission API
     # ------------------------------------------------------------------ #
+    def register_prefix(self, text: str) -> None:
+        """Cache a common prompt head so matching prompts skip recomputing it.
+
+        Typical use: register the task adapters' fixed instruction preambles
+        once at startup; every generation prompt that starts with a registered
+        head then maps its KV blocks by reference and prefills only the tail.
+        """
+        if self._manager is None:
+            raise ValueError("this server has no language model; "
+                             "construct it with model=... to serve generation")
+        with self._lock:
+            self._manager.register_prefix(text)
+
     def register_adapter(self, task: str, adapter: Any) -> None:
         if task not in DECISION_TASKS:
             raise ValueError(f"unknown decision task {task!r}; expected one of "
@@ -363,7 +381,8 @@ class InferenceServer:
             return False
         completed, occupancy = self._manager.step()
         if occupancy:
-            self._scheduler.record_step(occupancy)
+            self._scheduler.record_step(
+                occupancy, blocks_in_use=self._manager.cache.blocks_in_use)
         for session in completed:
             self._finish_generation(session)
         return True
@@ -449,7 +468,15 @@ class InferenceServer:
         with self._lock:
             end = self._last_finished_at or time.perf_counter()
             wall = (end - self._started_at) if self._started_at is not None else 0.0
+            prefix = self._manager.prefix if self._manager is not None else None
             return ServerStats.from_requests(
                 list(self._completed), wall,
                 list(self._scheduler.occupancy_samples),
-                list(self._scheduler.queue_depth_samples))
+                list(self._scheduler.queue_depth_samples),
+                block_usage_samples=list(self._scheduler.block_usage_samples),
+                block_capacity=(self._manager.cache.allocator.num_blocks
+                                if self._manager is not None else 0),
+                prefix_hits=prefix.hits if prefix is not None else 0,
+                prefix_misses=prefix.misses if prefix is not None else 0,
+                prefix_tokens_reused=(prefix.tokens_reused
+                                      if prefix is not None else 0))

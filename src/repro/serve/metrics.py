@@ -30,6 +30,8 @@ class RequestMetrics:
     token_seconds: List[float] = field(default_factory=list)
     #: Batch occupancy of each engine step this request participated in.
     batch_sizes: List[int] = field(default_factory=list)
+    #: Prompt-head tokens served from the shared-prefix cache (0 on a miss).
+    prefix_tokens: int = 0
 
     def mark_admitted(self) -> None:
         self.admitted_at = time.perf_counter()
@@ -85,11 +87,30 @@ class ServerStats:
     mean_batch_occupancy: float
     max_queue_depth: int
     per_task: Dict[str, int]
+    #: Mean/peak KV-cache blocks live across decode steps, and the pool cap.
+    mean_blocks_in_use: float = 0.0
+    peak_blocks_in_use: int = 0
+    block_capacity: int = 0
+    #: Shared prompt-prefix cache counters (0 when the cache is disabled).
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_tokens_reused: int = 0
+
+    @property
+    def block_occupancy(self) -> float:
+        """Mean fraction of the block pool in use during decode steps."""
+        if self.block_capacity <= 0:
+            return 0.0
+        return self.mean_blocks_in_use / self.block_capacity
 
     @classmethod
     def from_requests(cls, requests: List[RequestMetrics], wall_seconds: float,
                       occupancy_samples: List[int],
-                      queue_depth_samples: List[int]) -> "ServerStats":
+                      queue_depth_samples: List[int], *,
+                      block_usage_samples: List[int] = (),
+                      block_capacity: int = 0,
+                      prefix_hits: int = 0, prefix_misses: int = 0,
+                      prefix_tokens_reused: int = 0) -> "ServerStats":
         finished = [r for r in requests if r.finished_at is not None]
         tokens = sum(r.tokens_generated for r in finished)
         latencies = [r.total_seconds for r in finished]
@@ -97,6 +118,7 @@ class ServerStats:
         per_task: Dict[str, int] = {}
         for request in finished:
             per_task[request.task] = per_task.get(request.task, 0) + 1
+        block_usage = list(block_usage_samples)
         return cls(
             requests_completed=len(finished),
             tokens_generated=tokens,
@@ -110,6 +132,13 @@ class ServerStats:
                                   if occupancy_samples else 0.0),
             max_queue_depth=max(queue_depth_samples) if queue_depth_samples else 0,
             per_task=per_task,
+            mean_blocks_in_use=(sum(block_usage) / len(block_usage)
+                                if block_usage else 0.0),
+            peak_blocks_in_use=max(block_usage) if block_usage else 0,
+            block_capacity=block_capacity,
+            prefix_hits=prefix_hits,
+            prefix_misses=prefix_misses,
+            prefix_tokens_reused=prefix_tokens_reused,
         )
 
     def report(self) -> Dict[str, object]:
@@ -126,4 +155,11 @@ class ServerStats:
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_queue_depth": self.max_queue_depth,
             "per_task": dict(self.per_task),
+            "mean_blocks_in_use": self.mean_blocks_in_use,
+            "peak_blocks_in_use": self.peak_blocks_in_use,
+            "block_capacity": self.block_capacity,
+            "block_occupancy": self.block_occupancy,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_tokens_reused": self.prefix_tokens_reused,
         }

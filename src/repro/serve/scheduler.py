@@ -13,30 +13,61 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
+from ..nn import DEFAULT_BLOCK_SIZE
 from .session import GenerationSession
 
 
 @dataclass(frozen=True)
 class SchedulerPolicy:
-    """Knobs bounding the in-flight batch and per-session context.
+    """Knobs bounding the in-flight batch, per-session context and KV paging.
 
-    ``max_batch_size`` caps how many sessions decode together (the slot count
-    of the batched KV cache).  ``max_context`` caps each session's total
-    context length (prompt + generated); ``None`` defers to the model's
-    ``max_seq_len``.  ``max_queue`` bounds the waiting queue — submissions
-    beyond it are rejected, which is the backpressure signal a load balancer
-    in front of the engine would consume.
+    ``max_batch_size`` caps how many sessions decode together per engine
+    step.  ``max_context`` caps each session's total context length (prompt +
+    generated); ``None`` defers to the model's ``max_seq_len``.  ``max_queue``
+    bounds the waiting queue — submissions beyond it are rejected, which is
+    the backpressure signal a load balancer in front of the engine would
+    consume.  ``block_size`` is the paged KV-cache block granularity (an
+    explicit ``max_context`` must be a whole number of blocks so the context
+    cap and the pool reservation agree).  ``prefill_padding`` bounds padding
+    waste in ragged batched prefill: prompt tails are partitioned into length
+    bands (greedily, over the sorted lengths) such that each band's
+    right-padded token count stays within ``(1 + prefill_padding)`` of its
+    real token count — small bound, many narrow bands; large bound, few wide
+    ones.  ``ragged_prefill=False`` falls back to equal-length-only grouping
+    (the pre-paging behaviour, kept for benchmarking).
+    ``enable_prefix_cache`` turns shared prompt-head caching on;
+    ``max_prefixes`` bounds how many heads stay resident (LRU beyond that).
     """
 
     max_batch_size: int = 16
     max_context: Optional[int] = None
     max_queue: Optional[int] = None
+    block_size: int = DEFAULT_BLOCK_SIZE
+    prefill_padding: float = 0.5
+    ragged_prefill: bool = True
+    enable_prefix_cache: bool = True
+    max_prefixes: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        if self.max_context is not None and self.max_context < 2:
-            raise ValueError("max_context must be >= 2")
+            raise ValueError(
+                f"max_batch_size must be a positive batch width, got "
+                f"{self.max_batch_size}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.prefill_padding < 0:
+            raise ValueError(
+                f"prefill_padding must be >= 0, got {self.prefill_padding}")
+        if self.max_prefixes < 1:
+            raise ValueError(f"max_prefixes must be >= 1, got {self.max_prefixes}")
+        if self.max_context is not None:
+            if self.max_context < 2:
+                raise ValueError("max_context must be >= 2")
+            if self.max_context % self.block_size:
+                raise ValueError(
+                    f"max_context ({self.max_context}) must be a multiple of "
+                    f"block_size ({self.block_size}) so the context cap is a "
+                    f"whole number of KV blocks")
         if self.max_queue is not None and self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
 
@@ -52,6 +83,7 @@ class ContinuousBatchingScheduler:
         self._queue: Deque[GenerationSession] = deque()
         self.queue_depth_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.occupancy_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
+        self.block_usage_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.admitted_total = 0
         self.rejected_total = 0
 
@@ -77,7 +109,10 @@ class ContinuousBatchingScheduler:
         return admitted
 
     # ------------------------------------------------------------------ #
-    def record_step(self, batch_size: int) -> None:
-        """Sample per-step occupancy and queue depth for the stats report."""
+    def record_step(self, batch_size: int,
+                    blocks_in_use: Optional[int] = None) -> None:
+        """Sample per-step occupancy, queue depth and KV-block usage."""
         self.occupancy_samples.append(batch_size)
         self.queue_depth_samples.append(len(self._queue))
+        if blocks_in_use is not None:
+            self.block_usage_samples.append(blocks_in_use)

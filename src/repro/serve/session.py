@@ -1,27 +1,29 @@
-"""Generation sessions and the slot manager over the batched KV cache.
+"""Generation sessions and the session manager over the paged KV cache.
 
 A :class:`GenerationSession` is one streaming autoregressive request (prompt
 in, tokens out).  The :class:`SessionManager` owns the model's
-:class:`~repro.nn.BatchedKVCache`: it prefills prompts through the
-single-session cache path, packs them into free slots, advances every running
-session with one batched ``forward_step`` per engine step, and evicts
-completed sessions so their slots can be reused by queued requests —
-continuous batching.
+:class:`~repro.nn.PagedKVCache`: it prefills prompts in ragged length-bucketed
+batches (mixed-length prompts share one padded forward), maps cached common
+prompt heads in by reference (:class:`~repro.serve.prefix.PrefixCache`),
+advances every running session with one batched ``forward_step`` per engine
+step, and evicts completed sessions so their blocks return to the pool —
+continuous batching over paged storage.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..llm import LanguageModel
 from ..llm.generation import GenerationResult, sample_token
-from ..nn import no_grad
+from ..nn import DEFAULT_BLOCK_SIZE, no_grad
 from ..utils import seeded_rng
 from .metrics import RequestMetrics
+from .prefix import PrefixCache, PrefixEntry
 
 #: Session lifecycle states.
 QUEUED = "queued"
@@ -83,28 +85,55 @@ class GenerationSession:
 
 
 class SessionManager:
-    """Slot bookkeeping and batched decoding over a shared model.
+    """Session bookkeeping and batched decoding over a shared model.
 
     ``max_slots`` bounds how many sessions decode together (the batch size of
     one engine step); ``max_context`` bounds each session's total context.
-    Unlike eval-mode :func:`repro.llm.generation.generate`, the engine does not
-    re-prime a sliding window when the context fills up — the session is
+    The KV pool is paged (:class:`~repro.nn.PagedKVCache`): a session holds
+    exactly the blocks its history needs, so memory follows live tokens
+    instead of ``max_slots × max_context``.  Prompts are prefilled in ragged
+    length-bucketed batches — mixed-length prompts ride one right-padded
+    forward, with padding waste bounded by ``prefill_padding`` — and prompts
+    starting with a registered prefix skip recomputing (and re-storing) the
+    shared head entirely.
+
+    Unlike eval-mode :func:`repro.llm.generation.generate`, the engine does
+    not re-prime a sliding window when the context fills up — the session is
     completed with ``finish_reason == "context_full"`` instead, which is the
     behaviour a serving deployment wants (bounded per-request work).
     """
 
     def __init__(self, model: LanguageModel, max_slots: int = 16,
-                 max_context: Optional[int] = None) -> None:
+                 max_context: Optional[int] = None,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 prefill_padding: float = 0.5,
+                 ragged_prefill: bool = True,
+                 prefix_cache: bool = True,
+                 max_prefixes: int = 8) -> None:
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
+        if prefill_padding < 0:
+            raise ValueError("prefill_padding must be >= 0")
         self.model = model
         self.max_slots = max_slots
         model_limit = model.config.max_seq_len
         self.max_context = min(max_context or model_limit, model_limit)
         if self.max_context < 2:
             raise ValueError("max_context must leave room for at least one new token")
-        self.cache = model.init_batched_cache(max_slots)
-        self.running: Dict[int, GenerationSession] = {}  # slot -> session
+        self.prefill_padding = prefill_padding
+        self.ragged_prefill = ragged_prefill
+        # Reserve pool capacity for the prefix cache's residents so prompt
+        # traffic can never be starved by registered preambles (or vice versa).
+        blocks_per_session = -(-self.max_context // block_size)
+        self.cache = model.init_paged_cache(
+            max_sessions=max_slots, max_context=self.max_context,
+            block_size=block_size,
+            extra_blocks=max_prefixes * blocks_per_session if prefix_cache else 0)
+        self.prefix: Optional[PrefixCache] = (
+            PrefixCache(model, self.cache, max_entries=max_prefixes,
+                        max_length=self.max_context - 1)
+            if prefix_cache else None)
+        self.running: Dict[int, GenerationSession] = {}  # cache session id -> session
 
     # ------------------------------------------------------------------ #
     @property
@@ -116,17 +145,26 @@ class SessionManager:
         return self.max_slots - len(self.running)
 
     # ------------------------------------------------------------------ #
+    def register_prefix(self, text: str) -> PrefixEntry:
+        """Cache a common prompt head (see :class:`PrefixCache`)."""
+        if self.prefix is None:
+            raise ValueError("the prefix cache is disabled for this manager")
+        return self.prefix.register(text)
+
     def admit(self, session: GenerationSession) -> None:
-        """Prefill a queued session's prompt and pack it into a free slot."""
+        """Prefill a queued session's prompt and start decoding it."""
         self.admit_many([session])
 
     def admit_many(self, sessions: List[GenerationSession]) -> None:
-        """Prefill queued sessions and pack each into a free slot.
+        """Prefill queued sessions in ragged length-banded batches.
 
-        Equal-length prompts are prefilled together in one batched forward
-        (a large share of admission cost when many requests arrive at once);
-        each session's first output token is sampled from its prefill logits,
-        exactly as :func:`~repro.llm.generation.generate` does.
+        Sessions are grouped by matched prefix, then partitioned into length
+        bands (:meth:`_length_bands`): each band runs one right-padded batched
+        forward — causality makes right padding exact, per-row logits are read
+        at each prompt's true last position, and only the true history is
+        admitted into the paged cache.  Each session's first output token is
+        sampled from its prefill logits, exactly as
+        :func:`~repro.llm.generation.generate` does.
         """
         if len(sessions) > self.num_free:
             raise RuntimeError(
@@ -137,35 +175,93 @@ class SessionManager:
         # first sampled token matches the standalone path even for prompts
         # at the cap (such a session then finishes context_full right after).
         limit = self.max_context
-        groups: Dict[int, List[GenerationSession]] = {}
+        by_prefix: Dict[Optional[Tuple[int, ...]],
+                        Tuple[Optional[PrefixEntry], List[GenerationSession]]] = {}
         for session in sessions:
             session.prompt_ids = tokenizer.encode(session.prompt, add_bos=True)[-limit:]
             session.metrics.mark_admitted()
-            groups.setdefault(len(session.prompt_ids), []).append(session)
+            entry = (self.prefix.match(session.prompt_ids)
+                     if self.prefix is not None else None)
+            key = entry.token_ids if entry is not None else None
+            if key not in by_prefix:
+                by_prefix[key] = (entry, [])
+            by_prefix[key][1].append(session)
         # Mirror generate(): KV-cached forwards require eval mode (dropout
         # off); restore the caller's mode afterwards.
         was_training = self.model.training
         if was_training:
             self.model.eval()
         try:
-            for group in groups.values():
-                self._admit_group(group)
+            for entry, group in by_prefix.values():
+                head_len = entry.length if entry is not None else 0
+                for band in self._length_bands(group, head_len):
+                    self._admit_group(entry, band)
         finally:
             if was_training:
                 self.model.train()
 
-    def _admit_group(self, group: List[GenerationSession]) -> None:
-        prompt_ids = np.asarray([session.prompt_ids for session in group],
-                                dtype=np.int64)
+    def _length_bands(self, sessions: List[GenerationSession],
+                      head_len: int) -> List[List[GenerationSession]]:
+        """Partition sessions into prefill bands with bounded padding waste.
+
+        Greedy over tail lengths sorted ascending: a band absorbs the next
+        (longer) session while the band's right-padded token count stays
+        within ``1 + prefill_padding`` of its real token count.  A small
+        bound yields many narrow bands (little padding, many forwards); a
+        large one, few wide bands — the knob trades per-forward overhead
+        against padded FLOPs.  With ``ragged_prefill`` off, bands are exact
+        tail lengths (the equal-length-only pre-paging baseline).
+        """
+        ordered = sorted(sessions, key=lambda s: len(s.prompt_ids))
+        if not self.ragged_prefill:
+            by_length: Dict[int, List[GenerationSession]] = {}
+            for session in ordered:
+                by_length.setdefault(len(session.prompt_ids), []).append(session)
+            return list(by_length.values())
+        bands: List[List[GenerationSession]] = []
+        band: List[GenerationSession] = []
+        real_tokens = 0
+        for session in ordered:
+            tail = len(session.prompt_ids) - head_len
+            padded = (len(band) + 1) * tail  # sorted: this tail is the new max
+            if band and padded > (1.0 + self.prefill_padding) * (real_tokens + tail):
+                bands.append(band)
+                band, real_tokens = [], 0
+            band.append(session)
+            real_tokens += tail
+        if band:
+            bands.append(band)
+        return bands
+
+    def _admit_group(self, entry: Optional[PrefixEntry],
+                     group: List[GenerationSession]) -> None:
+        head_len = entry.length if entry is not None else 0
+        tails = [session.prompt_ids[head_len:] for session in group]
+        lengths = [len(tail) for tail in tails]
+        width = max(lengths)
+        # Right padding: causal attention makes every real position's K/V and
+        # logits independent of what follows, so pad rows are exact — the pad
+        # id is arbitrary and its K/V are simply never admitted.
+        padded = np.full((len(group), width), self.model.tokenizer.pad_id,
+                         dtype=np.int64)
+        for row, tail in enumerate(tails):
+            padded[row, :len(tail)] = tail
+        shared = entry.block_ids if entry is not None else ()
         with no_grad():
-            prefill_cache = self.model.init_cache()
-            logits = self.model.forward_incremental(prompt_ids, prefill_cache)
-            for row, session in enumerate(group):
-                session.slot = self.cache.admit(prefill_cache, row=row)
+            prefill_cache = (self.prefix.seed_cache(entry, len(group))
+                             if entry is not None else self.model.init_cache())
+            logits = self.model.forward_incremental(padded, prefill_cache)
+            session_ids = self.cache.admit_rows(
+                prefill_cache,
+                lengths=[head_len + length for length in lengths],
+                shared_blocks=shared)
+            for session, session_id in zip(group, session_ids):
+                session.slot = session_id
+                session.metrics.prefix_tokens = head_len
                 self.running[session.slot] = session
                 session.state = RUNNING
         for row, session in enumerate(group):
-            self._consume_logits(session, logits.data[row, -1, :])
+            self._consume_logits(session, logits.data[row, lengths[row] - 1, :])
 
     def evict(self, session: GenerationSession, reason: str) -> None:
         session.finish_reason = session.finish_reason or reason
@@ -194,7 +290,7 @@ class SessionManager:
         completed: List[GenerationSession] = []
         for slot in sorted(self.running):
             session = self.running[slot]
-            if int(self.cache.lengths[slot]) + 1 > self.max_context:
+            if self.cache.length(slot) + 1 > self.max_context:
                 completed.append(session)
         for session in completed:
             self.evict(session, REASON_CONTEXT_FULL)

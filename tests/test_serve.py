@@ -1,5 +1,6 @@
-"""Serving engine tests: batched/sequential parity, continuous batching,
-scheduler behaviour, decision-request batching and the metrics surface."""
+"""Serving engine tests: paged batched/sequential parity, continuous batching,
+block-pool invariants, prefix sharing, scheduler behaviour, decision-request
+batching and the metrics surface."""
 
 from __future__ import annotations
 
@@ -8,12 +9,15 @@ import pytest
 
 from repro.llm import LanguageModel, build_llm, generate
 from repro.llm.config import LLMConfig
-from repro.nn import BatchedKVCache, no_grad
+from repro.nn import BlockAllocator, PagedKVCache, no_grad
 from repro.serve import (
     ContinuousBatchingScheduler,
     GenerationSession,
     InferenceServer,
+    PrefixCache,
+    RequestMetrics,
     SchedulerPolicy,
+    ServerStats,
     SessionManager,
 )
 
@@ -25,10 +29,18 @@ def model():
     return LanguageModel(config, seed=3)
 
 
+def _prefill(model, prompt_ids):
+    """Single-session reference prefill: (cache, greedy first token)."""
+    cache = model.init_cache()
+    logits = model.forward_incremental(
+        np.asarray(prompt_ids, dtype=np.int64)[None, :], cache)
+    return cache, int(np.argmax(logits.data[0, -1]))
+
+
 # ---------------------------------------------------------------------- #
-# Batched KV-cache parity with sequential single-session decoding
+# Paged batched decoding parity with sequential single-session decoding
 # ---------------------------------------------------------------------- #
-class TestBatchedDecodeParity:
+class TestPagedDecodeParity:
     # Parity is asserted at atol=1e-9/rtol=0 (the repo's "machine precision"
     # convention): BLAS rounds batched GEMMs differently from single-row ones
     # at the ~1e-15 level, so bit-exactness across batch shapes is impossible
@@ -51,126 +63,587 @@ class TestBatchedDecodeParity:
                 reference_caches.append(cache)
                 reference_logits.append(logits.data[0, -1])
 
-            batched = model.init_batched_cache(max_slots=8)
-            slots = []
-            for prompt, expected in zip(prompts, reference_logits):
-                cache = model.init_cache()
-                logits = model.forward_incremental(
-                    np.asarray(prompt, dtype=np.int64)[None, :], cache)
-                np.testing.assert_array_equal(logits.data[0, -1], expected)
-                slots.append(batched.admit(cache))
-            slots = np.asarray(slots, dtype=np.int64)
+            paged = model.init_paged_cache(max_sessions=8, block_size=4)
+            sessions = []
+            for prompt in prompts:
+                cache, _ = _prefill(model, prompt)
+                sessions.append(paged.admit(cache))
+            sessions = np.asarray(sessions, dtype=np.int64)
 
             tokens = [int(np.argmax(l)) for l in reference_logits]
             for _ in range(8):
-                out = model.forward_step(np.asarray(tokens), batched, slots).data[:, -1, :]
+                out = model.forward_step(np.asarray(tokens), paged, sessions).data[:, -1, :]
                 for row, cache in enumerate(reference_caches):
                     expected = model.forward_incremental(
                         np.asarray([[tokens[row]]], dtype=np.int64), cache).data[0, -1]
                     np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
                 tokens = [int(np.argmax(out[row])) for row in range(len(prompts))]
+                paged.check_invariants()
 
     def test_interleaved_admission_eviction_parity(self, model):
-        """Evicting mid-flight and admitting into the freed slot keeps parity."""
+        """Evicting mid-flight and admitting into freed blocks keeps parity."""
         rng = np.random.default_rng(7)
         vocab = model.tokenizer.vocab_size
-        batched = model.init_batched_cache(max_slots=3)
-
-        def prefill(length):
-            prompt = rng.integers(0, vocab, size=length)
-            cache = model.init_cache()
-            logits = model.forward_incremental(prompt[None, :], cache)
-            return cache, int(np.argmax(logits.data[0, -1]))
+        paged = model.init_paged_cache(max_sessions=3, block_size=4)
 
         with no_grad():
             sessions = {}
             for length in (5, 9, 2):
-                cache, token = prefill(length)
-                slot = batched.admit(cache)
-                sessions[slot] = {"cache": cache, "token": token}
+                prompt = rng.integers(0, vocab, size=length)
+                cache, token = _prefill(model, prompt)
+                sid = paged.admit(cache)
+                sessions[sid] = {"cache": cache, "token": token}
 
-            def step(slots):
-                slots = np.asarray(sorted(slots), dtype=np.int64)
-                tokens = np.asarray([sessions[int(s)]["token"] for s in slots])
-                out = model.forward_step(tokens, batched, slots).data[:, -1, :]
-                for row, slot in enumerate(slots):
-                    state = sessions[int(slot)]
+            def step(ids):
+                ids = np.asarray(sorted(ids), dtype=np.int64)
+                tokens = np.asarray([sessions[int(s)]["token"] for s in ids])
+                out = model.forward_step(tokens, paged, ids).data[:, -1, :]
+                for row, sid in enumerate(ids):
+                    state = sessions[int(sid)]
                     expected = model.forward_incremental(
                         np.asarray([[state["token"]]], dtype=np.int64),
                         state["cache"]).data[0, -1]
                     np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
                     state["token"] = int(np.argmax(expected))
+                paged.check_invariants()
 
             step(list(sessions))
             step(list(sessions))
-            # Evict the middle session; its slot must be reusable.
-            batched.evict(1)
-            del sessions[1]
+            # Evict the 9-token session; its blocks must return to the pool.
+            victim = list(sessions)[1]
+            held = paged.blocks_in_use
+            victim_blocks = len(paged.table(victim))
+            paged.evict(victim)
+            del sessions[victim]
+            assert paged.blocks_in_use == held - victim_blocks
+            paged.check_invariants()
             step(list(sessions))
-            cache, token = prefill(13)
-            slot = batched.admit(cache)
-            assert slot == 1  # freed slot is reused
-            sessions[slot] = {"cache": cache, "token": token}
+            prompt = rng.integers(0, vocab, size=13)
+            cache, token = _prefill(model, prompt)
+            before = paged.allocator.high_water
+            reusable = before - paged.blocks_in_use  # freed, not yet reassigned
+            needed = paged.blocks_needed(13)
+            sid = paged.admit(cache)
+            # Freed blocks are reused first; the pool only grows by the deficit.
+            assert paged.allocator.high_water == before + max(0, needed - reusable)
+            sessions[sid] = {"cache": cache, "token": token}
             step(list(sessions))
             step(list(sessions))
 
-    def test_batched_cache_slot_exhaustion_and_errors(self, model):
-        batched = model.init_batched_cache(max_slots=1)
+    def test_block_exhaustion_and_errors(self, model):
+        # Pool with room for exactly 2 blocks of 4 tokens.
+        paged = PagedKVCache(model.backbone.init_cache().num_layers,
+                             max_blocks=2, block_size=4)
         with no_grad():
             cache = model.init_cache()
-            model.forward_incremental(np.asarray([[5, 6, 7]]), cache)
-            slot = batched.admit(cache)
+            model.forward_incremental(np.asarray([[5, 6, 7, 1, 2]]), cache)  # 2 blocks
+            sid = paged.admit(cache)
             other = model.init_cache()
             model.forward_incremental(np.asarray([[9]]), other)
-            with pytest.raises(RuntimeError, match="no free slots"):
-                batched.admit(other)
-            batched.evict(slot)
-            with pytest.raises(ValueError, match="already free"):
-                batched.evict(slot)
+            with pytest.raises(RuntimeError, match="out of KV-cache blocks"):
+                paged.admit(other)
+            paged.check_invariants()  # failed admit must not leak blocks
+            paged.evict(sid)
+            with pytest.raises(ValueError, match="not live"):
+                paged.evict(sid)
+            assert paged.blocks_in_use == 0
+            paged.admit(other)  # freed blocks are usable again
         with pytest.raises(ValueError, match="prefill first"):
-            batched.admit(model.init_cache())
-        mismatched = BatchedKVCache(5, 2)
+            paged.admit(model.init_cache())
+        mismatched = PagedKVCache(5, max_blocks=4, block_size=4)
         with pytest.raises(ValueError, match="layers"):
             with no_grad():
                 cache2 = model.init_cache()
                 model.forward_incremental(np.asarray([[1]]), cache2)
                 mismatched.admit(cache2)
 
+    def test_admit_rows_validates_rows_without_leaking(self, model):
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache, _ = _prefill(model, [1, 2, 3])
+            for bad in (3, -1):
+                with pytest.raises(ValueError, match="outside prefilled batch"):
+                    paged.admit_rows(cache, rows=[bad])
+            assert paged.blocks_in_use == 0  # nothing leaked
+            paged.check_invariants()
+
+    def test_simultaneous_cow_rezeros_the_freed_block(self, model):
+        """When every holder of a shared tail block copy-on-writes in the same
+        step, the orphaned original returns to the pool zero-filled."""
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache, token = _prefill(model, [1, 2, 3])  # partial tail block
+            sid_a = paged.admit(cache)
+            shared_block = paged.table(sid_a)[-1]
+            sid_b = paged.fork(sid_a)
+            model.forward_step(np.asarray([token, token]), paged,
+                               np.asarray([sid_a, sid_b]))
+            # Both sessions split off private copies; the original freed.
+            assert shared_block not in paged.table(sid_a)
+            assert shared_block not in paged.table(sid_b)
+            for layer in paged.layers:
+                assert not np.any(layer._keys[shared_block])
+                assert not np.any(layer._values[shared_block])
+            paged.check_invariants()
+
+    def test_register_at_entry_cap_evicts_before_allocating(self, model):
+        """Registration at max_entries frees the LRU head *first*, so it
+        succeeds even when the resident heads occupy the whole reservation."""
+        paged = PagedKVCache(model.backbone.init_cache().num_layers,
+                             max_blocks=2, block_size=4)
+        prefix = PrefixCache(model, paged, max_entries=1)
+        first = prefix.register("abcdefg")   # 8 tokens with BOS -> both blocks
+        assert len(first.block_ids) == 2 and paged.blocks_free == 0
+        second = prefix.register("hijklmn")  # must evict `first` to fit
+        assert len(prefix) == 1 and len(second.block_ids) == 2
+        paged.check_invariants(external_refs=prefix.external_refs())
+
+    def test_prepare_step_exhaustion_is_atomic(self, model):
+        """Pool exhaustion mid-step must not leave orphan tail blocks.
+
+        When two sessions both need a fresh block but only one is left, the
+        step fails *without touching any table*, so evicting a session and
+        retrying decodes correctly (regression: a partial allocation used to
+        leave an appended block that shifted the next write out of the
+        attention window)."""
+        paged = PagedKVCache(model.backbone.init_cache().num_layers,
+                             max_blocks=3, block_size=4)
+        with no_grad():
+            cache_a, token_a = _prefill(model, [1, 2, 3, 4])  # exactly 1 block
+            cache_b, _ = _prefill(model, [5, 6, 7, 8])
+            sid_a = paged.admit(cache_a)
+            sid_b = paged.admit(cache_b)
+            with pytest.raises(RuntimeError, match="out of KV-cache blocks"):
+                model.forward_step(np.asarray([1, 2]), paged,
+                                   np.asarray([sid_a, sid_b]))
+            # No table was mutated and the pool balances.
+            assert len(paged.table(sid_a)) == 1 and len(paged.table(sid_b)) == 1
+            paged.check_invariants()
+            paged.evict(sid_b)
+            out = model.forward_step(np.asarray([token_a]), paged,
+                                     np.asarray([sid_a])).data[0, -1, :]
+            expected = model.forward_incremental(
+                np.asarray([[token_a]], dtype=np.int64), cache_a).data[0, -1]
+            np.testing.assert_allclose(out, expected, atol=1e-9, rtol=0)
+            paged.check_invariants()
+
     def test_forward_step_validation(self, model):
-        batched = model.init_batched_cache(max_slots=4)
+        paged = model.init_paged_cache(max_sessions=4)
         with no_grad():
             cache = model.init_cache()
             model.forward_incremental(np.asarray([[5, 6]]), cache)
-            slot = batched.admit(cache)
+            sid = paged.admit(cache)
             with pytest.raises(ValueError, match="duplicate"):
-                model.forward_step(np.asarray([1, 2]), batched,
-                                   np.asarray([slot, slot]))
+                model.forward_step(np.asarray([1, 2]), paged,
+                                   np.asarray([sid, sid]))
             with pytest.raises(ValueError, match="one token"):
                 model.backbone.forward_step(
-                    model.token_embedding(np.asarray([[1, 2]])), batched,
-                    np.asarray([slot]))
+                    model.token_embedding(np.asarray([[1, 2]])), paged,
+                    np.asarray([sid]))
 
     def test_forward_step_respects_max_seq_len(self):
         config = LLMConfig(name="cap", family="test", d_model=32, num_layers=1,
                            num_heads=2, max_seq_len=6)
         capped = LanguageModel(config, seed=0)
-        batched = capped.init_batched_cache(max_slots=2)
+        paged = capped.init_paged_cache(max_sessions=2, block_size=4)
         with no_grad():
             cache = capped.init_cache()
             capped.forward_incremental(np.asarray([[1, 2, 3, 4, 5]]), cache)
-            slot = batched.admit(cache)
-            capped.forward_step(np.asarray([1]), batched, np.asarray([slot]))  # -> 6
+            sid = paged.admit(cache)
+            capped.forward_step(np.asarray([1]), paged, np.asarray([sid]))  # -> 6
             with pytest.raises(ValueError, match="exceeds maximum"):
-                capped.forward_step(np.asarray([1]), batched, np.asarray([slot]))
+                capped.forward_step(np.asarray([1]), paged, np.asarray([sid]))
 
     def test_forward_step_requires_no_grad(self, model):
-        batched = model.init_batched_cache(max_slots=2)
+        paged = model.init_paged_cache(max_sessions=2)
         with no_grad():
             cache = model.init_cache()
             model.forward_incremental(np.asarray([[4, 2]]), cache)
-            slot = batched.admit(cache)
+            sid = paged.admit(cache)
         with pytest.raises(RuntimeError, match="no_grad"):
-            model.forward_step(np.asarray([1]), batched, np.asarray([slot]))
+            model.forward_step(np.asarray([1]), paged, np.asarray([sid]))
+
+    def test_fork_copy_on_write_parity(self, model):
+        """A forked session shares blocks until the first divergent write."""
+        rng = np.random.default_rng(11)
+        vocab = model.tokenizer.vocab_size
+        prompt = rng.integers(0, vocab, size=7).tolist()  # partial tail block
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache_a, _ = _prefill(model, prompt)
+            cache_b, _ = _prefill(model, prompt)  # independent reference twin
+            sid_a = paged.admit(cache_a)
+            blocks_before = paged.blocks_in_use
+            sid_b = paged.fork(sid_a)
+            # Fork is free: same blocks, higher refcounts.
+            assert paged.blocks_in_use == blocks_before
+            assert paged.table(sid_b) == paged.table(sid_a)
+            paged.check_invariants()
+
+            # Diverge: feed different tokens to original and fork.
+            token_a, token_b = 3, 9
+            out = model.forward_step(np.asarray([token_a, token_b]), paged,
+                                     np.asarray([sid_a, sid_b])).data[:, -1, :]
+            # Copy-on-write split the shared tail block.
+            assert paged.table(sid_b)[-1] != paged.table(sid_a)[-1]
+            assert paged.table(sid_b)[:-1] == paged.table(sid_a)[:-1]
+            paged.check_invariants()
+            expected_a = model.forward_incremental(
+                np.asarray([[token_a]], dtype=np.int64), cache_a).data[0, -1]
+            expected_b = model.forward_incremental(
+                np.asarray([[token_b]], dtype=np.int64), cache_b).data[0, -1]
+            np.testing.assert_allclose(out[0], expected_a, atol=1e-9, rtol=0)
+            np.testing.assert_allclose(out[1], expected_b, atol=1e-9, rtol=0)
+
+            # Continue decoding both; they must stay exact.
+            for _ in range(4):
+                token_a = int(np.argmax(expected_a))
+                token_b = int(np.argmax(expected_b))
+                out = model.forward_step(np.asarray([token_a, token_b]), paged,
+                                         np.asarray([sid_a, sid_b])).data[:, -1, :]
+                expected_a = model.forward_incremental(
+                    np.asarray([[token_a]], dtype=np.int64), cache_a).data[0, -1]
+                expected_b = model.forward_incremental(
+                    np.asarray([[token_b]], dtype=np.int64), cache_b).data[0, -1]
+                np.testing.assert_allclose(out[0], expected_a, atol=1e-9, rtol=0)
+                np.testing.assert_allclose(out[1], expected_b, atol=1e-9, rtol=0)
+                paged.check_invariants()
+
+            # Evicting the original must not free blocks the fork still maps.
+            paged.evict(sid_a)
+            paged.check_invariants()
+            expected_b = model.forward_incremental(
+                np.asarray([[1]], dtype=np.int64), cache_b).data[0, -1]
+            out = model.forward_step(np.asarray([1]), paged,
+                                     np.asarray([sid_b])).data[0, -1, :]
+            np.testing.assert_allclose(out, expected_b, atol=1e-9, rtol=0)
+
+
+# ---------------------------------------------------------------------- #
+# Randomized stress/property test: paged serving vs sequential decoding
+# ---------------------------------------------------------------------- #
+class TestPagedStressParity:
+    def test_random_interleavings_match_sequential(self, model):
+        """200+ randomized admit/decode/evict steps keep exact logit parity.
+
+        Every live session is shadowed by its own single-session
+        ``forward_incremental`` reference; after every batched step the paged
+        logits must match each shadow exactly (atol=1e-9/rtol=0) and the
+        block pool must satisfy all accounting invariants.
+        """
+        rng = np.random.default_rng(1234)
+        vocab = model.tokenizer.vocab_size
+        max_live = 6
+        paged = model.init_paged_cache(max_sessions=max_live, block_size=4)
+        live = {}  # sid -> {"cache": reference KVCache, "token": next token}
+        admitted = evicted = decode_steps = 0
+
+        with no_grad():
+            for step in range(220):
+                action = rng.random()
+                if (action < 0.25 and len(live) < max_live) or not live:
+                    length = int(rng.integers(1, 24))
+                    prompt = rng.integers(0, vocab, size=length)
+                    cache, token = _prefill(model, prompt)
+                    sid = paged.admit(cache)
+                    live[sid] = {"cache": cache, "token": token}
+                    admitted += 1
+                elif action < 0.35 and len(live) > 1:
+                    victim = int(rng.choice(list(live)))
+                    paged.evict(victim)
+                    del live[victim]
+                    evicted += 1
+                else:
+                    # Sessions near the model's context limit must retire
+                    # (mirrors the engine's context_full eviction).
+                    for sid in [s for s in live
+                                if paged.length(s) + 1 > model.config.max_seq_len]:
+                        paged.evict(sid)
+                        del live[sid]
+                        evicted += 1
+                    if not live:
+                        continue
+                    ids = np.asarray(sorted(live), dtype=np.int64)
+                    tokens = np.asarray([live[int(s)]["token"] for s in ids])
+                    out = model.forward_step(tokens, paged, ids).data[:, -1, :]
+                    for row, sid in enumerate(ids):
+                        state = live[int(sid)]
+                        expected = model.forward_incremental(
+                            np.asarray([[state["token"]]], dtype=np.int64),
+                            state["cache"]).data[0, -1]
+                        np.testing.assert_allclose(
+                            out[row], expected, atol=1e-9, rtol=0,
+                            err_msg=f"step {step}, session {int(sid)}")
+                        state["token"] = int(np.argmax(expected))
+                    decode_steps += 1
+                paged.check_invariants()
+        # The interleaving actually exercised all three operations.
+        assert admitted >= 10 and evicted >= 5 and decode_steps >= 100
+        for sid in list(live):
+            paged.evict(sid)
+        paged.check_invariants()
+        assert paged.blocks_in_use == 0
+
+    def test_manager_stress_with_prefix_and_ragged_prefill(self, model):
+        """Engine-level stress: random mixed-length traffic with prefix hits.
+
+        Every served stream must equal standalone ``generate`` on the same
+        prompt, under randomized admission order, ragged bucketed prefill,
+        prefix sharing and slot churn.
+        """
+        rng = np.random.default_rng(7)
+        preamble = "predict the bandwidth: "
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=3, prefill_padding=0.25, block_size=4))
+        server.register_prefix(preamble)
+        prompts = []
+        for i in range(12):
+            body = "".join(rng.choice(list("abcdef 0123.")) for _ in range(int(rng.integers(1, 30))))
+            prompts.append(preamble + body if rng.random() < 0.5 else body)
+        handles = [server.submit("generate", p, max_new_tokens=int(rng.integers(2, 8)),
+                                 stop_on_eos=False) for p in prompts]
+        server.run_until_idle()
+        for prompt, handle in zip(prompts, handles):
+            served = handle.result()
+            reference = generate(model, prompt,
+                                 max_new_tokens=served.num_inferences,
+                                 stop_on_eos=False)
+            assert served.token_ids == reference.token_ids
+        stats = server.stats()
+        assert stats.prefix_hits > 0 and stats.prefix_misses > 0
+        assert stats.prefix_tokens_reused >= stats.prefix_hits
+        manager = server._manager
+        manager.cache.check_invariants(external_refs=manager.prefix.external_refs())
+        assert manager.cache.num_sessions == 0
+
+
+# ---------------------------------------------------------------------- #
+# Shared prompt-prefix cache
+# ---------------------------------------------------------------------- #
+class TestPrefixCache:
+    def test_prefix_hit_shares_blocks_and_keeps_parity(self, model):
+        manager = SessionManager(model, max_slots=4, block_size=4,
+                                 prefill_padding=0.25)
+        preamble = "bitrate selection task: "  # 25 tokens with BOS
+        entry = manager.register_prefix(preamble)
+        assert entry.length == len(model.tokenizer.encode(preamble, add_bos=True))
+        assert len(entry.block_ids) == entry.length // 4
+        blocks_before = manager.cache.blocks_in_use
+
+        session = GenerationSession(session_id=1, prompt=preamble + "now",
+                                    max_new_tokens=6, stop_on_eos=False)
+        manager.admit(session)
+        # The session's table starts with the cached head's blocks, shared.
+        table = manager.cache.table(session.slot)
+        assert table[:len(entry.block_ids)] == entry.block_ids
+        assert session.metrics.prefix_tokens == entry.length
+        # Shared mapping allocated only the tail's blocks.
+        tail_tokens = len(session.prompt_ids) - len(entry.block_ids) * 4
+        assert (manager.cache.blocks_in_use - blocks_before
+                == manager.cache.blocks_needed(tail_tokens))
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+        # Decode to completion; the stream must match standalone generate().
+        while manager.num_running:
+            manager.step()
+        reference = generate(model, preamble + "now", max_new_tokens=6,
+                             stop_on_eos=False)
+        assert session.generated == reference.token_ids
+        # Eviction returned the tail blocks but kept the cached head resident.
+        assert manager.cache.blocks_in_use == blocks_before
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+    def test_prefix_miss_and_strictness(self, model):
+        manager = SessionManager(model, max_slots=2, block_size=4)
+        preamble = "shared head 123"
+        entry = manager.register_prefix(preamble)
+        # A prompt equal to the head is NOT a hit (no tail to prefill).
+        assert manager.prefix.match(entry.token_ids) is None
+        # A prompt diverging in the head is not a hit either.
+        other = model.tokenizer.encode("shared head 999 tail", add_bos=True)
+        assert manager.prefix.match(other) is None
+        # A longer prompt starting with the head is.
+        longer = model.tokenizer.encode(preamble + " tail", add_bos=True)
+        assert manager.prefix.match(longer) is entry
+        assert manager.prefix.hits == 1 and manager.prefix.misses == 2
+
+    def test_longest_prefix_wins(self, model):
+        manager = SessionManager(model, max_slots=2, block_size=4)
+        short = manager.register_prefix("abcd")
+        long = manager.register_prefix("abcdefgh")
+        prompt = model.tokenizer.encode("abcdefghij", add_bos=True)
+        assert manager.prefix.match(prompt) is long
+        assert manager.prefix.match(
+            model.tokenizer.encode("abcdef", add_bos=True)) is short
+
+    def test_lru_eviction_releases_blocks(self, model):
+        manager = SessionManager(model, max_slots=2, block_size=4,
+                                 max_prefixes=2)
+        first = manager.register_prefix("first preamble text")
+        manager.register_prefix("second preamble text")
+        held = manager.cache.blocks_in_use
+        manager.register_prefix("third preamble text!")  # evicts "first" (LRU)
+        assert len(manager.prefix) == 2
+        assert manager.prefix.match(
+            model.tokenizer.encode("first preamble text plus", add_bos=True)) is None
+        # first's blocks were released; third's were allocated.
+        assert manager.cache.blocks_in_use == held
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+        assert manager.cache.blocks_in_use == manager.prefix.blocks_held
+
+    def test_register_validation(self, model):
+        manager = SessionManager(model, max_slots=2)
+        with pytest.raises(ValueError, match="empty"):
+            manager.prefix.register_ids(())
+        with pytest.raises(ValueError, match="no room for a tail"):
+            manager.prefix.register("x" * model.config.max_seq_len)
+        # A head that can never match a prompt truncated to max_context must
+        # be rejected too — otherwise it would hold unmatchable pool blocks.
+        capped = SessionManager(model, max_slots=2, max_context=32, block_size=4)
+        with pytest.raises(ValueError, match="no room for a tail"):
+            capped.register_prefix("y" * 40)
+        capped.register_prefix("y" * 20)  # within the serving context: fine
+        disabled = SessionManager(model, max_slots=2, prefix_cache=False)
+        assert disabled.prefix is None
+        with pytest.raises(ValueError, match="disabled"):
+            disabled.register_prefix("head")
+
+    def test_server_register_prefix_requires_model(self):
+        with pytest.raises(ValueError, match="no language model"):
+            InferenceServer().register_prefix("head")
+
+
+# ---------------------------------------------------------------------- #
+# Block-pool invariants (allocator-level)
+# ---------------------------------------------------------------------- #
+class TestBlockAllocator:
+    def test_free_list_accounting_balances(self):
+        allocator = BlockAllocator(num_blocks=8, block_size=4)
+        blocks = [allocator.allocate() for _ in range(5)]
+        assert allocator.blocks_in_use == 5 and allocator.high_water == 5
+        for block in blocks[1:4]:
+            assert allocator.release(block)
+        assert allocator.blocks_in_use == 2
+        # Reuse is lowest-id-first and does not grow the high-water mark.
+        assert allocator.allocate() == blocks[1]
+        assert allocator.high_water == 5
+
+    def test_refcount_share_release(self):
+        allocator = BlockAllocator(num_blocks=4, block_size=4)
+        block = allocator.allocate()
+        allocator.share(block)
+        assert not allocator.release(block)  # still referenced
+        assert allocator.release(block)      # last reference frees it
+        with pytest.raises(ValueError, match="double free"):
+            allocator.release(block)
+        with pytest.raises(ValueError, match="not allocated"):
+            allocator.share(block)
+
+    def test_exhaustion_is_loud(self):
+        allocator = BlockAllocator(num_blocks=2, block_size=4)
+        allocator.allocate(), allocator.allocate()
+        with pytest.raises(RuntimeError, match="out of KV-cache blocks"):
+            allocator.allocate()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            BlockAllocator(0, 4)
+        with pytest.raises(ValueError, match="block_size"):
+            BlockAllocator(4, 0)
+
+    def test_no_block_owned_by_two_sessions(self, model):
+        """Two independently admitted sessions never map the same block."""
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache_a, _ = _prefill(model, [1, 2, 3, 4, 5])
+            cache_b, _ = _prefill(model, [6, 7, 8])
+            sid_a = paged.admit(cache_a)
+            sid_b = paged.admit(cache_b)
+        assert not set(paged.table(sid_a)) & set(paged.table(sid_b))
+        paged.check_invariants()
+
+
+# ---------------------------------------------------------------------- #
+# Metrics aggregation (pure numeric code)
+# ---------------------------------------------------------------------- #
+class TestMetricsAggregation:
+    def _request(self, task, submitted, admitted, finished, tokens=0,
+                 batch_sizes=(), first_token=None):
+        metrics = RequestMetrics(task=task, submitted_at=submitted)
+        metrics.admitted_at = admitted
+        metrics.finished_at = finished
+        metrics.first_token_at = first_token
+        metrics.tokens_generated = tokens
+        metrics.batch_sizes = list(batch_sizes)
+        return metrics
+
+    def test_request_metrics_phases(self):
+        request = self._request("generate", submitted=10.0, admitted=10.5,
+                                finished=12.0, tokens=8, batch_sizes=[2, 4],
+                                first_token=10.75)
+        assert request.queue_seconds == pytest.approx(0.5)
+        assert request.decode_seconds == pytest.approx(1.5)
+        assert request.total_seconds == pytest.approx(2.0)
+        assert request.time_to_first_token == pytest.approx(0.75)
+        assert request.mean_batch_size == pytest.approx(3.0)
+
+    def test_request_metrics_defaults_before_completion(self):
+        request = RequestMetrics(task="vp")
+        assert request.queue_seconds == 0.0
+        assert request.decode_seconds == 0.0
+        assert request.total_seconds == 0.0
+        assert request.time_to_first_token == 0.0
+        assert request.mean_batch_size == 0.0
+
+    def test_server_stats_percentiles_and_counts(self):
+        # 20 requests with total latencies 1..20s and queue 0.1..2.0s.
+        requests = []
+        for i in range(1, 21):
+            task = "generate" if i % 2 else "vp"
+            requests.append(self._request(task, submitted=0.0, admitted=0.1 * i,
+                                          finished=float(i), tokens=i))
+        # One unfinished request must be excluded from every aggregate.
+        unfinished = RequestMetrics(task="generate", submitted_at=0.0)
+        stats = ServerStats.from_requests(
+            requests + [unfinished], wall_seconds=10.0,
+            occupancy_samples=[1, 2, 3, 4], queue_depth_samples=[0, 5, 2],
+            block_usage_samples=[4, 8, 12], block_capacity=16,
+            prefix_hits=3, prefix_misses=1, prefix_tokens_reused=75)
+        assert stats.requests_completed == 20
+        assert stats.tokens_generated == sum(range(1, 21))
+        assert stats.tokens_per_second == pytest.approx(stats.tokens_generated / 10.0)
+        latencies = [float(i) for i in range(1, 21)]
+        assert stats.latency_p50_s == pytest.approx(np.percentile(latencies, 50))
+        assert stats.latency_p95_s == pytest.approx(np.percentile(latencies, 95))
+        queues = [0.1 * i for i in range(1, 21)]
+        assert stats.queue_p50_s == pytest.approx(np.percentile(queues, 50))
+        assert stats.queue_p95_s == pytest.approx(np.percentile(queues, 95))
+        assert stats.mean_batch_occupancy == pytest.approx(2.5)
+        assert stats.max_queue_depth == 5
+        assert stats.per_task == {"generate": 10, "vp": 10}
+        assert stats.mean_blocks_in_use == pytest.approx(8.0)
+        assert stats.peak_blocks_in_use == 12
+        assert stats.block_occupancy == pytest.approx(0.5)
+        assert stats.prefix_hits == 3 and stats.prefix_misses == 1
+        assert stats.prefix_tokens_reused == 75
+
+    def test_server_stats_empty_and_report_roundtrip(self):
+        stats = ServerStats.from_requests([], wall_seconds=0.0,
+                                          occupancy_samples=[],
+                                          queue_depth_samples=[])
+        assert stats.requests_completed == 0
+        assert stats.tokens_per_second == 0.0
+        assert stats.latency_p50_s == 0.0 and stats.queue_p95_s == 0.0
+        assert stats.mean_batch_occupancy == 0.0 and stats.max_queue_depth == 0
+        assert stats.block_occupancy == 0.0  # capacity 0 must not divide
+        report = stats.report()
+        for key in ("tokens_per_second", "latency_p95_s", "block_occupancy",
+                    "prefix_hits", "prefix_tokens_reused", "mean_blocks_in_use",
+                    "per_task"):
+            assert key in report
 
 
 # ---------------------------------------------------------------------- #
@@ -217,7 +690,8 @@ class TestServedGeneration:
         assert stats.tokens_generated == 6 * 4
 
     def test_context_cap_finishes_session(self, model):
-        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2, max_context=12))
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2, max_context=12,
+                                                        block_size=4))
         handle = server.submit("generate", "0123456789", max_new_tokens=50,
                                stop_on_eos=False)
         result = handle.result()
@@ -327,16 +801,35 @@ class TestScheduler:
         assert list(scheduler.queue_depth_samples) == [1]
 
     def test_policy_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive batch width, got 0"):
             SchedulerPolicy(max_batch_size=0)
-        with pytest.raises(ValueError):
-            SchedulerPolicy(max_context=1)
+        with pytest.raises(ValueError, match="positive batch width, got -3"):
+            SchedulerPolicy(max_batch_size=-3)
+        with pytest.raises(ValueError, match="max_context must be >= 2"):
+            SchedulerPolicy(max_context=1, block_size=1)
         with pytest.raises(ValueError):
             SchedulerPolicy(max_queue=0)
+        with pytest.raises(ValueError, match="block_size must be >= 1"):
+            SchedulerPolicy(block_size=0)
+        with pytest.raises(ValueError, match="prefill_padding"):
+            SchedulerPolicy(prefill_padding=-0.1)
+        with pytest.raises(ValueError, match="max_prefixes"):
+            SchedulerPolicy(max_prefixes=0)
+
+    def test_policy_rejects_unaligned_max_context(self):
+        with pytest.raises(ValueError, match=r"max_context \(50\) must be a "
+                                             r"multiple of block_size \(16\)"):
+            SchedulerPolicy(max_context=50)
+        # Aligned contexts (and the model-default None) are accepted.
+        SchedulerPolicy(max_context=48)
+        SchedulerPolicy(max_context=50, block_size=10)
+        SchedulerPolicy(max_context=None)
 
     def test_session_manager_requires_capacity(self, model):
         with pytest.raises(ValueError, match="max_slots"):
             SessionManager(model, max_slots=0)
+        with pytest.raises(ValueError, match="prefill_padding"):
+            SessionManager(model, max_slots=1, prefill_padding=-1.0)
 
 
 # ---------------------------------------------------------------------- #
@@ -427,6 +920,31 @@ class TestDecisionServing:
                 with pytest.raises(RuntimeError, match="injected decode failure"):
                     handle.result(timeout=30)
         assert not server.is_serving
+
+    def test_serve_loop_crash_fails_queued_and_decision_requests(self, model):
+        """The crash guard fails *everything* pending: queued generation
+        sessions that were never admitted and undelivered decision requests,
+        not only the sessions in flight when the loop died."""
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1))
+        boom = RuntimeError("injected decode failure")
+
+        def exploding_step():
+            raise boom
+
+        server._manager.step = exploding_step
+        # With one slot, three of these stay queued when the loop dies.
+        handles = [server.submit("generate", f"q{i}", max_new_tokens=2,
+                                 stop_on_eos=False) for i in range(4)]
+        with server:
+            for handle in handles:
+                with pytest.raises(RuntimeError, match="injected decode failure"):
+                    handle.result(timeout=30)
+        assert not server.is_serving
+        # The crash guard evicted the admitted session: no blocks leak.
+        assert server._manager.cache.num_sessions == 0
+        server._manager.cache.check_invariants(
+            external_refs=server._manager.prefix.external_refs()
+            if server._manager.prefix else None)
 
     def test_adapter_registration_guard(self):
         server = InferenceServer()

@@ -26,13 +26,21 @@ mixed-length workload (exact logit parity between paged batched and
 sequential decoding is proven separately in ``tests/test_serve.py``).
 """
 
+import threading
 import time
 
 import pytest
 from conftest import print_table, save_results
 
 from repro.llm import build_llm
-from repro.serve import GenerationSession, InferenceServer, SchedulerPolicy, SessionManager
+from repro.serve import (
+    DecisionRequest,
+    GenerateRequest,
+    GenerationSession,
+    InferenceServer,
+    SchedulerPolicy,
+    SessionManager,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -59,13 +67,52 @@ def _serve_workload(model, batch_size: int):
                for i in range(NUM_REQUESTS)]
     server = InferenceServer(model, SchedulerPolicy(max_batch_size=batch_size))
     start = time.perf_counter()
-    handles = [server.submit("generate", prompt, max_new_tokens=NEW_TOKENS,
+    handles = [server.submit_generation(prompt, max_new_tokens=NEW_TOKENS,
                              stop_on_eos=False) for prompt in prompts]
     server.run_until_idle()
     wall = time.perf_counter() - start
     tokens = sum(len(handle.result().token_ids) for handle in handles)
     assert tokens == NUM_REQUESTS * NEW_TOKENS
     return tokens / wall, server.stats()
+
+
+def _serve_streaming_workload(model, stream: bool) -> float:
+    """Serve the fixed workload on a background loop; return tokens/s.
+
+    With ``stream`` every request is consumed token by token from its own
+    client thread (16 concurrent ``handle.stream()`` consumers) — the
+    overhead being measured is the per-token queue hand-off versus simply
+    blocking in ``handle.result()``.
+    """
+    prompts = [f"session {i}: bitrate for next chunk given throughput {i % 7}.{i % 10}"
+               for i in range(NUM_REQUESTS)]
+    server = InferenceServer(model, SchedulerPolicy(max_batch_size=NUM_REQUESTS))
+    pieces = {}
+
+    def consume(index, handle):
+        pieces[index] = sum(1 for _ in handle.stream(timeout=120))
+
+    with server:
+        start = time.perf_counter()
+        handles = [server.submit(GenerateRequest(prompt=prompt,
+                                                 max_new_tokens=NEW_TOKENS,
+                                                 stop_on_eos=False,
+                                                 stream=stream))
+                   for prompt in prompts]
+        if stream:
+            consumers = [threading.Thread(target=consume, args=(i, handle))
+                         for i, handle in enumerate(handles)]
+            for consumer in consumers:
+                consumer.start()
+            for consumer in consumers:
+                consumer.join()
+        results = [handle.result(timeout=120) for handle in handles]
+        wall = time.perf_counter() - start
+    tokens = sum(len(result.token_ids) for result in results)
+    assert tokens == NUM_REQUESTS * NEW_TOKENS
+    if stream:  # every committed token reached its consumer
+        assert pieces == {i: len(results[i].token_ids) for i in range(NUM_REQUESTS)}
+    return tokens / wall
 
 
 def _mixed_prompts():
@@ -94,7 +141,7 @@ def _serve_prefix_workload(model, register: bool):
     if register:
         server.register_prefix(PREAMBLE)
     start = time.perf_counter()
-    handles = [server.submit("generate", prompt, max_new_tokens=8,
+    handles = [server.submit_generation(prompt, max_new_tokens=8,
                              stop_on_eos=False) for prompt in prompts]
     server.run_until_idle()
     wall = time.perf_counter() - start
@@ -169,6 +216,24 @@ def test_perf_serving_continuous_batching():
          "tokens_reused": warm_stats.prefix_tokens_reused},
     ])
 
+    # --- Streaming-consumer overhead ------------------------------------- #
+    # The ~1.0 expected ratio leaves the least headroom of the gates, so on
+    # top of best-of-N this measurement may take extra repetitions when a CI
+    # load spike lands in the streaming run but not the plain one.
+    stream_tps = plain_tps = 0.0
+    for attempt in range(2 * REPETITIONS):
+        plain_tps = max(plain_tps, _serve_streaming_workload(model, stream=False))
+        stream_tps = max(stream_tps, _serve_streaming_workload(model, stream=True))
+        if attempt >= REPETITIONS - 1 and stream_tps >= 0.9 * plain_tps:
+            break
+    stream_ratio = stream_tps / plain_tps
+    print_table(f"Streaming overhead ({NUM_REQUESTS} background-loop consumers)", [
+        {"mode": "result() only", "tokens_per_s": plain_tps},
+        {"mode": f"{NUM_REQUESTS} stream() consumers", "tokens_per_s": stream_tps},
+    ])
+    print(f"Streaming consumers sustain {stream_ratio:.2f}x the non-streaming "
+          f"aggregate throughput.")
+
     save_results("perf_serving", {
         "model": MODEL,
         "num_requests": NUM_REQUESTS,
@@ -189,16 +254,28 @@ def test_perf_serving_continuous_batching():
             "speedup": cold_wall / warm_wall,
             "stats": warm_stats.report(),
         },
+        "streaming": {
+            "consumers": NUM_REQUESTS,
+            "non_streaming_tokens_per_s": plain_tps,
+            "streaming_tokens_per_s": stream_tps,
+            "ratio": stream_ratio,
+        },
     })
 
     # Acceptance: continuous batching at 16 slots beats sequential serving
     # by at least 3x aggregate tokens/s (ISSUE 2 acceptance criterion), and
     # ragged bucketed prefill beats equal-length-only admission by >= 1.5x on
     # the mixed-length workload (ISSUE 3 acceptance criterion).
+    # Streaming hand-off must stay cheap: 16 concurrent stream() consumers
+    # sustain at least 0.9x the non-streaming aggregate throughput (ISSUE 4
+    # acceptance criterion).
     assert speedup >= 3.0, (
         f"batch-16 serving is only {speedup:.2f}x the sequential engine")
     assert ragged_speedup >= 1.5, (
         f"ragged prefill is only {ragged_speedup:.2f}x the equal-length baseline")
+    assert stream_ratio >= 0.9, (
+        f"streaming consumers reach only {stream_ratio:.2f}x the "
+        f"non-streaming throughput")
 
 
 def test_perf_serving_decision_batching(vp_netllm, vp_bench_data):
@@ -212,9 +289,10 @@ def test_perf_serving_decision_batching(vp_netllm, vp_bench_data):
 
     server = InferenceServer(adapters={"vp": adapter})
     start = time.perf_counter()
-    handles = [server.submit("vp", sample) for sample in samples]
+    handles = [server.submit(DecisionRequest(task="vp", payload=sample))
+               for sample in samples]
     server.run_until_idle()
-    served = [handle.result() for handle in handles]
+    served = [handle.result().viewport for handle in handles]
     served_seconds = time.perf_counter() - start
 
     import numpy as np

@@ -10,9 +10,19 @@ traffic through it from three concurrent client threads:
 * an ABR client streaming several video sessions in lockstep,
 * a CJS client scheduling a cluster workload event by event,
 
-plus a batch of streaming text-generation sessions decoded with continuous
-batching over the shared KV cache.  At the end the engine's stats report
-shows batch occupancy, queue depth and tail latency across the mixed load.
+plus the typed request lifecycle the engine exposes:
+
+* a batch of high-priority generation sessions decoded with continuous
+  batching over the shared KV cache,
+* a **streaming** client consuming one session token by token
+  (``GenerateRequest(stream=True)`` + ``handle.stream()``),
+* a request that gets **cancelled** mid-flight (its KV blocks return to the
+  pool immediately) and one submitted with a too-tight **deadline**,
+* a **custom task runtime** registered at runtime (``register_task``) —
+  a novel decision task served without touching the engine.
+
+At the end the engine's stats report shows batch occupancy, queue depth,
+per-priority tail latency and the cancelled/expired counts across the load.
 
 Run:  python examples/serving_demo.py   (~1-2 minutes on a laptop CPU)
 """
@@ -26,8 +36,30 @@ from repro.abr import ABR_SETTINGS, build_setting
 from repro.cjs import CJS_SETTINGS, build_workload, run_workload
 from repro.core import adapt_abr, adapt_cjs, adapt_vp, build_inference_server
 from repro.llm import build_llm
-from repro.serve import LockstepABRDriver, SchedulerPolicy, ServedCJSScheduler
+from repro.serve import (
+    DeadlineExceeded,
+    DecisionRequest,
+    GenerateRequest,
+    LockstepABRDriver,
+    RequestCancelled,
+    SchedulerPolicy,
+    ServedCJSScheduler,
+)
 from repro.vp import VP_SETTINGS, ViewportDataset
+
+
+class WordCountRuntime:
+    """A novel decision task: count words in a prompt, batched.
+
+    Nothing here touches the engine — implementing ``group_key`` /
+    ``execute_batch`` and registering the instance is the whole integration.
+    """
+
+    def group_key(self, request):
+        return ()  # every request is batch-compatible
+
+    def execute_batch(self, requests):
+        return [len(str(request.payload).split()) for request in requests]
 
 
 def build_artifacts():
@@ -73,10 +105,13 @@ def main() -> None:
     server = build_inference_server(model=vp.llm, vp=vp, abr=abr, cjs=cjs,
                                     policy=SchedulerPolicy(max_batch_size=8))
 
+    server.register_task("wordcount", WordCountRuntime())
+
     outcomes = {}
 
     def vp_client():
-        handles = [server.submit("vp", sample) for sample in vp_test[:40]]
+        handles = [server.submit(DecisionRequest(task="vp", payload=sample))
+                   for sample in vp_test[:40]]
         outcomes["vp"] = len([h.result(timeout=120) for h in handles])
 
     def abr_client():
@@ -93,24 +128,62 @@ def main() -> None:
     start = time.time()
     with server:  # background serve loop
         generation_handles = [
-            server.submit("generate", f"viewer {i} joined, prefetch plan:",
-                          max_new_tokens=24, stop_on_eos=False, seed=i)
+            server.submit(GenerateRequest(
+                prompt=f"viewer {i} joined, prefetch plan:", max_new_tokens=24,
+                stop_on_eos=False, seed=i, priority=1))
             for i in range(12)
         ]
+        # A streaming consumer: tokens arrive as decode steps commit them.
+        streaming = server.submit(GenerateRequest(
+            prompt="live captions for viewer 0:", max_new_tokens=24,
+            stop_on_eos=False, stream=True, priority=2))
+        # A request we abandon mid-flight (frees its KV blocks immediately)
+        # and one whose deadline cannot be met.
+        doomed = server.submit(GenerateRequest(
+            prompt="speculative prefetch plan:", max_new_tokens=400,
+            stop_on_eos=False))
+        hopeless = server.submit(GenerateRequest(
+            prompt="instant answer needed:", max_new_tokens=400,
+            stop_on_eos=False, deadline_s=0.001))
+        # The novel registered task rides the same engine.
+        wordcounts = [server.submit(DecisionRequest(task="wordcount", payload=p))
+                      for p in ("count these words", "two words")]
+
         threads = [threading.Thread(target=fn)
                    for fn in (vp_client, abr_client, cjs_client)]
         for thread in threads:
             thread.start()
+        streamed_pieces = list(streaming.stream(timeout=120))
+        time.sleep(0.05)
+        doomed.cancel()
         for thread in threads:
             thread.join()
         generations = [handle.result(timeout=120) for handle in generation_handles]
+        try:
+            hopeless.result(timeout=120)
+            expiry = "no"
+        except DeadlineExceeded:
+            expiry = "yes"
+        try:
+            doomed.result(timeout=120)
+            cancel_outcome = "completed before the cancel"
+        except RequestCancelled:
+            cancel_outcome = "cancelled, blocks reclaimed"
+        counts = [handle.result(timeout=120) for handle in wordcounts]
     wall = time.time() - start
+
+    assert "".join(streamed_pieces) == streaming.result().text  # exact stream
 
     print(f"Served the mixed workload in {wall:.1f}s")
     print(f"  VP predictions answered: {outcomes['vp']}")
     print(f"  ABR per-session QoE:     {outcomes['abr']}")
     print(f"  CJS average JCT:         {outcomes['cjs']}")
     print(f"  Generated tokens:        {sum(len(g.token_ids) for g in generations)}")
+    print(f"  Streamed tokens:         {len(streamed_pieces)} "
+          f"(text == result: True)")
+    print(f"  Cancelled request:       {cancel_outcome}")
+    print(f"  Deadline expired:        {expiry}")
+    print(f"  wordcount task answers:  {counts}")
 
     stats = server.stats()
     print("\nEngine stats:")

@@ -220,9 +220,9 @@ def evaluate_abr_netllm_served(server, adaptation: "ABRAdaptation", video, trace
 
     driver = LockstepABRDriver(server, adaptation.adapter, adaptation.pool,
                                target_return_scale=target_return_scale)
-    # No caller-side no_grad(): the engine's forwards self-wrap, and the grad
-    # flag is process-global — holding it here would race a background serve
-    # thread's own no_grad enter/exit.
+    # No caller-side no_grad() needed: the engine's forwards self-wrap (and
+    # the grad flag is thread-local, so a background serve thread manages its
+    # own mode regardless of what this thread does).
     sessions = driver.run(video, traces, config=sim_config, seed=seed)
     breakdowns = [session.breakdown() for session in sessions]
     qoes = [session.qoe() for session in sessions]
@@ -236,11 +236,14 @@ def evaluate_abr_netllm_served(server, adaptation: "ABRAdaptation", video, trace
 
 
 def build_inference_server(model: Optional[LanguageModel] = None, vp=None, abr=None,
-                           cjs=None, policy=None):
+                           cjs=None, policy=None, runtimes=None):
     """Construct an :class:`repro.serve.InferenceServer` from adapted artifacts.
 
     ``vp``/``abr``/``cjs`` accept either the adaptation dataclasses returned
     by :func:`adapt_vp`/:func:`adapt_abr`/:func:`adapt_cjs` or bare adapters.
+    ``runtimes`` maps additional task names to custom
+    :class:`repro.serve.TaskRuntime` implementations (novel tasks beyond the
+    three built-ins).
     """
     from ..serve import InferenceServer
 
@@ -248,7 +251,8 @@ def build_inference_server(model: Optional[LanguageModel] = None, vp=None, abr=N
     for task, artifact in (("vp", vp), ("abr", abr), ("cjs", cjs)):
         if artifact is not None:
             adapters[task] = getattr(artifact, "adapter", artifact)
-    return InferenceServer(model=model, policy=policy, adapters=adapters)
+    return InferenceServer(model=model, policy=policy, adapters=adapters,
+                           runtimes=runtimes)
 
 
 def evaluate_abr_policies(policies: Dict[str, object], video, traces, sim_config=None,

@@ -12,7 +12,10 @@ Two global switches control the cost of the substrate:
   backward closures are created, no ``_prev`` edges are recorded and results
   never require grad.  Pure-inference code (rollout collection, evaluation,
   autoregressive decoding) runs through exactly the same numpy kernels but
-  without paying the autograd tax.
+  without paying the autograd tax.  The flag is **thread-local** (PyTorch
+  semantics): a background inference loop holding ``no_grad`` does not
+  forbid training on other threads, and every new thread starts with grad
+  recording enabled.
 * **Default dtype** — :func:`set_default_dtype` selects the floating-point
   precision (``float64`` by default, ``float32`` for faster inference) used
   whenever data enters the tensor world through :func:`_as_array`.
@@ -27,29 +30,38 @@ activations and normalization primitives.
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
+
 # ---------------------------------------------------------------------- #
-# Global autograd / dtype state
+# Autograd (thread-local) / dtype (global) state
 # ---------------------------------------------------------------------- #
-_GRAD_ENABLED: bool = True
+class _GradMode(threading.local):
+    """Per-thread autograd flag; the class attribute is each thread's default."""
+
+    enabled: bool = True
+
+
+_GRAD_MODE = _GradMode()
 _DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record a computation graph."""
-    return _GRAD_ENABLED
+    """Return whether operations on *this thread* record a computation graph."""
+    return _GRAD_MODE.enabled
 
 
 def set_grad_enabled(mode: bool) -> bool:
-    """Globally enable/disable autograd recording; returns the previous mode."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = bool(mode)
+    """Enable/disable autograd recording on this thread; returns the previous
+    mode.  Other threads are unaffected (the flag is thread-local), so a
+    background inference loop cannot disable a training thread's autograd."""
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = bool(mode)
     return previous
 
 
@@ -220,7 +232,7 @@ class Tensor:
         The result keeps numpy's computed dtype (a float64 model stays float64
         even after the global default switches to float32).
         """
-        record = _GRAD_ENABLED and requires_grad
+        record = _GRAD_MODE.enabled and requires_grad
         if record:
             return Tensor(data, requires_grad=True, _prev=prev, dtype=data.dtype), True
         return Tensor(data, dtype=data.dtype), False
@@ -670,7 +682,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires_grad = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
     if not requires_grad:
         return Tensor(data, dtype=data.dtype)
     out = Tensor(data, requires_grad=True, _prev=tuple(tensors), dtype=data.dtype)
@@ -695,7 +707,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires_grad = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
     if not requires_grad:
         return Tensor(data, dtype=data.dtype)
     out = Tensor(data, requires_grad=True, _prev=tuple(tensors), dtype=data.dtype)
@@ -718,7 +730,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b = Tensor._ensure(b)
     cond = np.asarray(condition, dtype=bool)
     data = np.where(cond, a.data, b.data)
-    requires_grad = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    requires_grad = _GRAD_MODE.enabled and (a.requires_grad or b.requires_grad)
     if not requires_grad:
         return Tensor(data, dtype=data.dtype)
     out = Tensor(data, requires_grad=True, _prev=(a, b), dtype=data.dtype)

@@ -3,13 +3,19 @@
 The runtime substrate (``repro.nn``'s paged :class:`~repro.nn.PagedKVCache`
 and the batched ``forward_step`` path) advances N independent decoding
 sessions in one forward over block-granular KV storage; this package adds the
-serving machinery on top: a session manager with ragged length-bucketed
-batched prefill and a shared prompt-prefix cache (:class:`PrefixCache`), a
-continuous-batching scheduler, and the :class:`InferenceServer` facade with
-future-style request handles and a queue-level metrics surface (tokens/s,
-p50/p95 latency, batch occupancy, block occupancy, prefix hits, queue depth).
+serving machinery on top: a **typed request/response API**
+(:class:`GenerateRequest` / :class:`DecisionRequest` and per-task result
+types), request handles with the full lifecycle (``result()`` /
+``stream()`` / ``cancel()``, deadlines, priority classes), **pluggable task
+runtimes** (:class:`TaskRuntime`; ``vp``/``abr``/``cjs`` are the built-in
+registrations), a session manager with ragged length-bucketed batched prefill
+and a shared prompt-prefix cache (:class:`PrefixCache`), a priority-aware
+continuous-batching scheduler, and the :class:`InferenceServer` facade with a
+queue-level metrics surface (tokens/s, p50/p95 latency per priority class,
+batch occupancy, block occupancy, prefix hits, cancelled/expired counts).
 """
 
+from ..llm.generation import GenerationResult
 from .clients import (
     LockstepABRDriver,
     ServedABRPolicy,
@@ -20,10 +26,28 @@ from .clients import (
 from .engine import InferenceServer, RequestHandle
 from .metrics import RequestMetrics, ServerStats
 from .prefix import PrefixCache, PrefixEntry
+from .requests import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    ABRResult,
+    CJSResult,
+    DeadlineExceeded,
+    DecisionRequest,
+    GenerateRequest,
+    RequestCancelled,
+    VPResult,
+)
+from .runtimes import ABRRuntime, CJSRuntime, TaskRuntime, VPRuntime, build_runtime
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .session import GenerationSession, SessionManager
 
 __all__ = [
+    "GenerateRequest", "DecisionRequest",
+    "GenerationResult", "VPResult", "ABRResult", "CJSResult",
+    "RequestCancelled", "DeadlineExceeded",
+    "PRIORITY_LOW", "PRIORITY_NORMAL", "PRIORITY_HIGH",
+    "TaskRuntime", "VPRuntime", "ABRRuntime", "CJSRuntime", "build_runtime",
     "ContinuousBatchingScheduler", "SchedulerPolicy",
     "GenerationSession", "SessionManager",
     "PrefixCache", "PrefixEntry",

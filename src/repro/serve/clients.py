@@ -1,8 +1,8 @@
 """Task-side clients that drive the three NetLLM adapters through the engine.
 
 These wrappers turn the synchronous per-step adapter calls of the deployment
-policies into engine submissions so that concurrent sessions share batched
-forwards:
+policies into typed :class:`~repro.serve.requests.DecisionRequest`
+submissions so that concurrent sessions share batched forwards:
 
 * :func:`serve_vp_predictions` — submit a whole VP test set at once; the
   engine groups compatible samples into one ``predict_batch`` forward.
@@ -26,17 +26,21 @@ import numpy as np
 from ..abr.simulator import StreamingSession
 from ..core.ddlrna import NetLLMABRPolicy, NetLLMCJSScheduler
 from .engine import InferenceServer
+from .requests import DecisionRequest
 
 
 # ---------------------------------------------------------------------- #
 # Viewport prediction
 # ---------------------------------------------------------------------- #
-def serve_vp_predictions(server: InferenceServer, samples: Sequence) -> List[np.ndarray]:
+def serve_vp_predictions(server: InferenceServer, samples: Sequence,
+                         priority: int = 0) -> List[np.ndarray]:
     """Predict every sample through the engine (batched by shape group)."""
-    handles = [server.submit("vp", sample) for sample in samples]
+    handles = [server.submit(DecisionRequest(task="vp", payload=sample,
+                                             priority=priority))
+               for sample in samples]
     if not server.is_serving:
         server.run_until_idle()
-    return [handle.result() for handle in handles]
+    return [handle.result().viewport for handle in handles]
 
 
 class ServedVPPredictor:
@@ -48,7 +52,8 @@ class ServedVPPredictor:
         self.server = server
 
     def predict(self, sample) -> np.ndarray:
-        return self.server.submit("vp", sample).result()
+        return self.server.submit(
+            DecisionRequest(task="vp", payload=sample)).result().viewport
 
 
 # ---------------------------------------------------------------------- #
@@ -67,8 +72,9 @@ class ServedABRPolicy(NetLLMABRPolicy):
     def select_bitrate(self, session: StreamingSession) -> int:
         returns, states, actions = self.prepare(session)
         payload = {"returns": returns, "states": states, "actions": actions}
-        (action,) = self.server.submit("abr", payload).result()
-        return self.commit(action)
+        result = self.server.submit(
+            DecisionRequest(task="abr", payload=payload)).result()
+        return self.commit(result.bitrate)
 
 
 class LockstepABRDriver:
@@ -101,14 +107,15 @@ class LockstepABRDriver:
             for index in active:
                 returns, states, actions = policies[index].prepare(sessions[index])
                 payload = {"returns": returns, "states": states, "actions": actions}
-                submissions.append((index, self.server.submit("abr", payload)))
+                submissions.append((index, self.server.submit(
+                    DecisionRequest(task="abr", payload=payload))))
             if not self.server.is_serving:
                 self.server.run_until_idle()
             still_active = []
             for index, handle in submissions:
-                (action,) = handle.result()
-                policies[index].commit(action)
-                sessions[index].download_chunk(action)
+                bitrate = handle.result().bitrate
+                policies[index].commit(bitrate)
+                sessions[index].download_chunk(bitrate)
                 if not sessions[index].finished:
                     still_active.append(index)
             active = still_active
@@ -132,5 +139,6 @@ class ServedCJSScheduler(NetLLMCJSScheduler):
         returns, states, actions, valid_mask = self.prepare(context)
         payload = {"returns": returns, "states": states, "actions": actions,
                    "valid_mask": valid_mask}
-        stage_index, bucket = self.server.submit("cjs", payload).result()
-        return self.commit(context, stage_index, bucket)
+        result = self.server.submit(
+            DecisionRequest(task="cjs", payload=payload)).result()
+        return self.commit(context, result.stage_index, result.bucket)

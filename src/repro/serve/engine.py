@@ -2,67 +2,123 @@
 
 One engine serves two kinds of traffic through a single shared model:
 
-* **Generation sessions** (``task="generate"``): streaming autoregressive
-  requests decoded with continuous batching over the batched KV cache — new
-  sessions are admitted into the in-flight batch whenever slots free up, so
-  one ``forward_step`` advances every running session at once.
-* **Decision requests** (``task in {"vp", "abr", "cjs"}``): per-step NetLLM
-  adapter inferences.  Pending requests of a task are grouped by compatible
-  shape between decode steps and executed as one batched adapter forward.
+* **Generation sessions** (:class:`~repro.serve.requests.GenerateRequest`):
+  streaming autoregressive requests decoded with continuous batching over the
+  paged KV cache — new sessions are admitted into the in-flight batch
+  whenever slots free up, so one ``forward_step`` advances every running
+  session at once.
+* **Decision requests** (:class:`~repro.serve.requests.DecisionRequest`):
+  per-step adapter inferences answered by pluggable
+  :class:`~repro.serve.runtimes.TaskRuntime` registrations (built-ins:
+  ``vp``/``abr``/``cjs``).  Pending requests of a task are grouped by the
+  runtime's ``group_key`` between decode steps and executed as one batched
+  forward.
 
-``submit`` returns a :class:`RequestHandle` immediately.  The engine can be
-driven synchronously (``step()`` / ``run_until_idle()`` / ``handle.result()``)
-or by a background thread (``start()`` / ``stop()``, or the context manager),
-which lets independent client threads — e.g. a VP evaluator, several ABR
-sessions and a CJS workload — share one batched model.
+``submit`` takes a typed request and returns a :class:`RequestHandle`
+immediately.  The handle exposes the full request lifecycle: ``result()``
+blocks for the final payload, ``stream()`` yields text pieces as decode steps
+commit them, and ``cancel()`` aborts the request — evicting its session and
+returning its KV blocks to the pool at the next safe point.  Requests may
+carry a ``priority`` class (admitted first, aged against starvation) and a
+relative ``deadline_s`` (expiry fails the handle with
+:class:`~repro.serve.requests.DeadlineExceeded`, in-queue or mid-decode).
 
-Threading caveat: all engine forwards run under ``repro.nn.no_grad()``, whose
-flag is process-wide (not thread-local) — do not *train* on other threads
-while a background serve loop is running.
+The engine can be driven synchronously (``step()`` / ``run_until_idle()`` /
+``handle.result()``) or by a background thread (``start()`` / ``stop()``, or
+the context manager), which lets independent client threads — e.g. a VP
+evaluator, several ABR sessions and a CJS workload — share one batched model.
+Engine forwards self-wrap in ``repro.nn.no_grad()``, whose flag is
+thread-local, so other threads remain free to train concurrently — on *other*
+models.  ``Module.training`` is per-module shared state (the engine snapshots
+and restores it around forwards), so do not flip the *served* model between
+``train()``/``eval()`` from another thread while the loop is running.
 """
 
 from __future__ import annotations
 
 import itertools
+import queue as queue_module
 import threading
 import time
-from collections import deque
+import warnings
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Tuple
-
-import numpy as np
+from collections import deque
+from typing import Any, Deque, Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
 from ..llm import LanguageModel
-from .metrics import RequestMetrics, ServerStats
+from .metrics import (
+    OUTCOME_CANCELLED,
+    OUTCOME_EXPIRED,
+    RequestMetrics,
+    ServerStats,
+)
+from .requests import (
+    DeadlineExceeded,
+    DecisionRequest,
+    GenerateRequest,
+    RequestCancelled,
+)
+from .runtimes import TaskRuntime, build_runtime
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
-from .session import FAILED, FINISHED, QUEUED, GenerationSession, SessionManager
+from .session import (
+    FAILED,
+    FINISHED,
+    QUEUED,
+    REASON_CANCELLED,
+    REASON_DEADLINE,
+    RUNNING,
+    GenerationSession,
+    SessionManager,
+)
 
-#: Task names with built-in batching support.
+#: The built-in generation task name (decision tasks are runtime
+#: registrations; see :mod:`repro.serve.runtimes`).
 GENERATE = "generate"
-DECISION_TASKS = ("vp", "abr", "cjs")
+
+#: Stream-queue sentinel: no more tokens will arrive.
+_STREAM_END = object()
 
 
 class RequestHandle:
-    """Future-style handle for one submitted request."""
+    """Future-style handle for one submitted request.
 
-    def __init__(self, server: "InferenceServer", request_id: int, task: str,
-                 metrics: RequestMetrics) -> None:
+    Beyond the future surface (``done()`` / ``result()``), the handle is the
+    client's side of the request lifecycle: ``stream()`` consumes tokens as
+    the engine commits them (``GenerateRequest(stream=True)`` only) and
+    ``cancel()`` aborts the request, releasing any KV blocks it holds.
+    """
+
+    def __init__(self, server: "InferenceServer", request_id: int,
+                 request: Union[GenerateRequest, DecisionRequest],
+                 metrics: RequestMetrics, *, legacy: bool = False) -> None:
         self._server = server
         self.request_id = request_id
-        self.task = task
+        self.request = request
+        self.task = request.task
         self.metrics = metrics
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
+        self._session: Optional[GenerationSession] = None
+        self._stream: Optional[queue_module.SimpleQueue] = None
+        self._legacy = legacy
+        if isinstance(request, GenerateRequest) and request.stream:
+            self._stream = queue_module.SimpleQueue()
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        return isinstance(self._error, RequestCancelled)
 
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the request completes and return its payload.
 
         With the background serve loop running this waits on the loop; in
         synchronous mode it drives the engine until the request resolves.
+        Raises :class:`~repro.serve.requests.RequestCancelled` /
+        :class:`~repro.serve.requests.DeadlineExceeded` when the request was
+        cancelled or expired instead of completing.
         """
         if not self._event.is_set():
             self._server._drive(self, timeout)
@@ -70,30 +126,98 @@ class RequestHandle:
             raise TimeoutError(f"request {self.request_id} ({self.task}) timed out")
         if self._error is not None:
             raise self._error
+        if self._legacy:
+            return getattr(self._result, "value", self._result)
         return self._result
 
+    def cancel(self) -> bool:
+        """Abort the request; False when it already reached a terminal state.
+
+        A queued request is dropped before ever touching the model; a running
+        generation session is evicted and its KV blocks return to the pool
+        immediately.  After a successful cancel, ``result()`` (and an active
+        ``stream()``) raise :class:`~repro.serve.requests.RequestCancelled`.
+        """
+        return self._server._cancel(self)
+
+    def stream(self, timeout: Optional[float] = None) -> Iterator[str]:
+        """Yield generated text pieces as decode steps commit them.
+
+        Only available for ``GenerateRequest(stream=True)`` submissions.  The
+        concatenation of the yielded pieces equals ``result().text``.  Works
+        in both drive modes: with a background serve loop the iterator blocks
+        on the token queue; synchronously it steps the engine itself between
+        tokens.  ``timeout`` bounds the *inactivity* between consecutive
+        pieces (not the total stream duration), so a long but steadily
+        producing generation never times out.  A cancelled/expired/failed
+        request raises the corresponding error after yielding whatever was
+        committed before the failure; iterating a fully-drained stream again
+        just re-raises (or returns nothing).
+        """
+        if self._stream is None:
+            raise RuntimeError(
+                "this request does not stream; submit a "
+                "GenerateRequest(stream=True) to consume tokens incrementally")
+        last_progress = time.perf_counter()
+        while True:
+            try:
+                piece = self._stream.get_nowait()
+            except queue_module.Empty:
+                # Terminal and drained (e.g. the end sentinel went to an
+                # earlier iteration/consumer): nothing more will ever arrive.
+                if self.done() and self._stream.empty():
+                    break
+                if timeout is not None \
+                        and time.perf_counter() - last_progress > timeout:
+                    raise TimeoutError(
+                        f"request {self.request_id} ({self.task}) stream "
+                        f"produced nothing for {timeout}s")
+                if self._server._pump(self):
+                    continue  # sync drive: the step may have pushed pieces
+                try:  # a background loop produces: block briefly for it
+                    piece = self._stream.get(timeout=0.05)
+                except queue_module.Empty:
+                    continue
+            if piece is _STREAM_END:
+                break
+            last_progress = time.perf_counter()
+            yield piece
+        if self._error is not None:
+            raise self._error
+
+    # -- engine-side plumbing ------------------------------------------- #
+    def _push_piece(self, piece: str) -> None:
+        if self._stream is not None:
+            self._stream.put(piece)
+
     def _resolve(self, result: Any) -> None:
+        if self._event.is_set():  # already terminal (e.g. cancelled): keep it
+            return
         self._result = result
         self._event.set()
+        if self._stream is not None:
+            self._stream.put(_STREAM_END)
 
     def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():  # already terminal (e.g. cancelled): keep it
+            return
         self._error = error
         self._event.set()
+        if self._stream is not None:
+            self._stream.put(_STREAM_END)
 
 
 @dataclass
-class _DecisionRequest:
-    """One queued adapter-inference request."""
+class _PendingDecision:
+    """One queued decision request with its grouping/lifecycle bookkeeping."""
 
     handle: RequestHandle
-    payload: Any
-    group_key: Tuple = ()
+    request: DecisionRequest
+    group_key: Hashable = ()
+    deadline_at: Optional[float] = None
 
-
-@dataclass
-class _GenerationRequest:
-    session: GenerationSession
-    handle: RequestHandle
+    def is_expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now > self.deadline_at
 
 
 class InferenceServer:
@@ -103,17 +227,22 @@ class InferenceServer:
     ----------
     model:
         The :class:`LanguageModel` serving generation sessions (optional when
-        the engine only serves adapter decision traffic).
+        the engine only serves decision traffic).
     policy:
-        Batch/context/queue bounds (:class:`SchedulerPolicy`).
+        Batch/context/queue/priority bounds (:class:`SchedulerPolicy`).
     adapters:
-        Optional mapping of task name (``"vp"``/``"abr"``/``"cjs"``) to the
-        adapted NetLLM adapter answering that task's decision requests.
+        Optional mapping of built-in task name (``"vp"``/``"abr"``/``"cjs"``)
+        to the adapted NetLLM adapter answering that task — shorthand for the
+        matching :mod:`repro.serve.runtimes` registration.
+    runtimes:
+        Optional mapping of task name to a :class:`TaskRuntime`
+        implementation, for novel tasks beyond the built-ins.
     """
 
     def __init__(self, model: Optional[LanguageModel] = None,
                  policy: Optional[SchedulerPolicy] = None,
-                 adapters: Optional[Dict[str, Any]] = None) -> None:
+                 adapters: Optional[Dict[str, Any]] = None,
+                 runtimes: Optional[Dict[str, TaskRuntime]] = None) -> None:
         self.policy = policy or SchedulerPolicy()
         self.model = model
         self._manager = (SessionManager(model, max_slots=self.policy.max_batch_size,
@@ -125,12 +254,13 @@ class InferenceServer:
                                         max_prefixes=self.policy.max_prefixes)
                          if model is not None else None)
         self._scheduler = ContinuousBatchingScheduler(self.policy)
-        self._adapters: Dict[str, Any] = dict(adapters or {})
+        self._runtimes: Dict[str, TaskRuntime] = {}
         self._ids = itertools.count(1)
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
         self._pending_generation: Dict[int, RequestHandle] = {}  # session_id -> handle
-        self._pending_decisions: Dict[str, List[_DecisionRequest]] = {}
+        self._queued_generation: Dict[int, RequestHandle] = {}   # request_id -> handle
+        self._pending_decisions: Dict[str, List[_PendingDecision]] = {}
         # Bounded retention: a long-lived server keeps the most recent
         # completions for stats() instead of growing without limit.
         self._completed: Deque[RequestMetrics] = deque(maxlen=16384)
@@ -138,9 +268,13 @@ class InferenceServer:
         self._last_finished_at: Optional[float] = None
         self._thread: Optional[threading.Thread] = None
         self._running = False
+        for task, adapter in (adapters or {}).items():
+            self.register_adapter(task, adapter)
+        for task, runtime in (runtimes or {}).items():
+            self.register_task(task, runtime)
 
     # ------------------------------------------------------------------ #
-    # Submission API
+    # Registration API
     # ------------------------------------------------------------------ #
     def register_prefix(self, text: str) -> None:
         """Cache a common prompt head so matching prompts skip recomputing it.
@@ -149,74 +283,208 @@ class InferenceServer:
         once at startup; every generation prompt that starts with a registered
         head then maps its KV blocks by reference and prefills only the tail.
         """
-        if self._manager is None:
-            raise ValueError("this server has no language model; "
-                             "construct it with model=... to serve generation")
+        self._require_model()
         with self._lock:
             self._manager.register_prefix(text)
 
-    def register_adapter(self, task: str, adapter: Any) -> None:
-        if task not in DECISION_TASKS:
-            raise ValueError(f"unknown decision task {task!r}; expected one of "
-                             f"{DECISION_TASKS}")
-        with self._lock:
-            self._adapters[task] = adapter
+    def register_task(self, task: str, runtime: TaskRuntime) -> None:
+        """Register a :class:`TaskRuntime` answering ``task`` requests.
 
-    def submit(self, task: str, payload: Any, **options) -> RequestHandle:
-        """Queue one request; returns a future-style handle.
-
-        * ``task="generate"``: ``payload`` is the prompt string; options are
-          forwarded to the generation session (``max_new_tokens``,
-          ``temperature``, ``seed``, ``stop_on_eos``).
-        * ``task="vp"``: ``payload`` is a ``VPSample``-like object; resolves to
-          the predicted viewport array.
-        * ``task="abr"`` / ``task="cjs"``: ``payload`` is the context dict
-          (``returns``, ``states``, ``actions`` and, for CJS, ``valid_mask``);
-          resolves to the greedy action tuple.
+        This is the extension point for novel tasks: the engine has no
+        per-task branches, so a registration is all a new decision task
+        needs.
         """
         if task == GENERATE:
-            return self.submit_generation(payload, **options)
-        if task not in DECISION_TASKS:
-            raise ValueError(f"unknown task {task!r}")
-        if options:
-            raise TypeError(f"unexpected options for {task!r} request: {sorted(options)}")
-        if task not in self._adapters:
-            raise ValueError(f"no adapter registered for task {task!r}")
-        metrics = RequestMetrics(task=task)
-        handle = RequestHandle(self, next(self._ids), task, metrics)
-        request = _DecisionRequest(handle=handle, payload=payload,
-                                   group_key=self._group_key(task, payload))
-        with self._work:
-            self._note_submission()
-            self._pending_decisions.setdefault(task, []).append(request)
-            self._work.notify_all()
-        return handle
+            raise ValueError(f"task name {GENERATE!r} is reserved for "
+                             f"generation sessions")
+        for method in ("group_key", "execute_batch"):
+            if not callable(getattr(runtime, method, None)):
+                raise TypeError(f"runtime for task {task!r} must implement "
+                                f"TaskRuntime.{method}")
+        with self._lock:
+            self._runtimes[task] = runtime
 
-    def submit_generation(self, prompt: str, max_new_tokens: int = 64,
-                          temperature: float = 0.0, seed: int = 0,
-                          stop_on_eos: bool = True) -> RequestHandle:
-        """Queue a streaming generation request (continuous-batching path)."""
-        if self._manager is None:
-            raise ValueError("this server has no language model; "
-                             "construct it with model=... to serve generation")
-        if max_new_tokens < 1:
-            raise ValueError("max_new_tokens must be >= 1")
-        metrics = RequestMetrics(task=GENERATE)
+    def register_adapter(self, task: str, adapter: Any) -> None:
+        """Register a built-in NetLLM adapter (``vp``/``abr``/``cjs``)."""
+        self.register_task(task, build_runtime(task, adapter))
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Union[GenerateRequest, DecisionRequest, str],
+               payload: Any = None, **options) -> RequestHandle:
+        """Queue one typed request; returns a future-style handle.
+
+        * :class:`GenerateRequest`: a streaming generation session (continuous
+          batching path).  ``stream=True`` enables ``handle.stream()``.
+        * :class:`DecisionRequest`: answered by the task's registered
+          :class:`TaskRuntime` (built-ins: ``vp``/``abr``/``cjs``).
+
+        Passing a task-name string (``submit("generate", prompt, ...)`` /
+        ``submit("vp", sample)``) is the deprecated pre-typed surface: it
+        constructs the matching request dataclass, warns, and — for decision
+        tasks — unwraps the typed result back to the bare payload the old API
+        returned.
+        """
+        if isinstance(request, GenerateRequest):
+            if payload is not None or options:
+                raise TypeError("GenerateRequest carries all options; pass "
+                                "nothing else to submit()")
+            return self._submit_generation(request)
+        if isinstance(request, DecisionRequest):
+            if payload is not None or options:
+                raise TypeError("DecisionRequest carries all options; pass "
+                                "nothing else to submit()")
+            return self._submit_decision(request)
+        if isinstance(request, str):
+            return self._submit_legacy(request, payload, options)
+        raise TypeError(f"submit() takes a GenerateRequest or DecisionRequest, "
+                        f"got {type(request).__name__}")
+
+    def _submit_legacy(self, task: str, payload: Any,
+                       options: Dict[str, Any]) -> RequestHandle:
+        warnings.warn(
+            "submit(task: str, payload) is deprecated; submit a typed "
+            "GenerateRequest/DecisionRequest instead",
+            DeprecationWarning, stacklevel=3)
+        if task == GENERATE:
+            return self._submit_generation(GenerateRequest(prompt=payload, **options))
+        if options:
+            raise TypeError(f"unexpected options for {task!r} request: "
+                            f"{sorted(options)}")
+        return self._submit_decision(DecisionRequest(task=task, payload=payload),
+                                     legacy=True)
+
+    def submit_generation(self, prompt: str, **options) -> RequestHandle:
+        """Typed-convenience shorthand: ``submit(GenerateRequest(prompt, ...))``."""
+        return self._submit_generation(GenerateRequest(prompt=prompt, **options))
+
+    def _submit_generation(self, request: GenerateRequest) -> RequestHandle:
+        self._require_model()
+        metrics = RequestMetrics(task=GENERATE, priority=request.priority)
         request_id = next(self._ids)
-        session = GenerationSession(session_id=request_id, prompt=prompt,
-                                    max_new_tokens=max_new_tokens,
-                                    temperature=temperature, seed=seed,
-                                    stop_on_eos=stop_on_eos, metrics=metrics)
-        handle = RequestHandle(self, request_id, GENERATE, metrics)
+        session = GenerationSession(session_id=request_id, prompt=request.prompt,
+                                    max_new_tokens=request.max_new_tokens,
+                                    temperature=request.temperature,
+                                    seed=request.seed,
+                                    stop_on_eos=request.stop_on_eos,
+                                    priority=request.priority,
+                                    metrics=metrics)
+        if request.deadline_s is not None:
+            session.deadline_at = metrics.submitted_at + request.deadline_s
+        handle = RequestHandle(self, request_id, request, metrics)
+        handle._session = session
+        if request.stream:
+            tokenizer = self.model.tokenizer
+            session.on_token = lambda token_id: handle._push_piece(
+                tokenizer.decode([token_id]))
         with self._work:
             self._note_submission()
             if not self._scheduler.enqueue(session):
                 handle._fail(RuntimeError(
                     f"request queue full ({self.policy.max_queue}); retry later"))
                 return handle
-            self._pending_generation[session.session_id] = handle
+            self._queued_generation[request_id] = handle
             self._work.notify_all()
         return handle
+
+    def _submit_decision(self, request: DecisionRequest,
+                         legacy: bool = False) -> RequestHandle:
+        runtime = self._runtimes.get(request.task)
+        if runtime is None:
+            raise ValueError(
+                f"no task runtime registered for {request.task!r} "
+                f"(register_adapter for vp/abr/cjs, register_task for "
+                f"novel tasks)")
+        group_key = runtime.group_key(request)
+        try:  # probe now: an unhashable key must fail this submission only,
+            hash(group_key)  # not explode inside the serve loop's flush
+        except TypeError:
+            raise TypeError(
+                f"task runtime for {request.task!r} returned an unhashable "
+                f"group_key ({type(group_key).__name__}); return e.g. a "
+                f"tuple of shapes") from None
+        metrics = RequestMetrics(task=request.task, priority=request.priority)
+        handle = RequestHandle(self, next(self._ids), request, metrics,
+                               legacy=legacy)
+        pending = _PendingDecision(
+            handle=handle, request=request,
+            group_key=group_key,
+            deadline_at=(None if request.deadline_s is None
+                         else metrics.submitted_at + request.deadline_s))
+        with self._work:
+            self._note_submission()
+            self._pending_decisions.setdefault(request.task, []).append(pending)
+            self._work.notify_all()
+        return handle
+
+    def _require_model(self) -> None:
+        if self._manager is None:
+            raise ValueError("this server has no language model; "
+                             "construct it with model=... to serve generation")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle: cancellation and deadlines
+    # ------------------------------------------------------------------ #
+    def _cancel(self, handle: RequestHandle) -> bool:
+        with self._work:
+            if handle.done():
+                return False
+            session = handle._session
+            if session is not None:
+                if session.state == QUEUED:
+                    self._scheduler.remove(session)
+                    self._queued_generation.pop(handle.request_id, None)
+                elif session.state == RUNNING:
+                    self._manager.evict(session, reason=REASON_CANCELLED)
+                self._pending_generation.pop(session.session_id, None)
+                session.state = FAILED
+            else:
+                pending = self._pending_decisions.get(handle.task, [])
+                self._pending_decisions[handle.task] = [
+                    p for p in pending if p.handle is not handle]
+            self._terminate(handle, OUTCOME_CANCELLED, RequestCancelled(
+                f"request {handle.request_id} ({handle.task}) was cancelled"))
+            self._work.notify_all()
+        return True
+
+    def _expire(self, handle: RequestHandle, where: str) -> None:
+        """Fail an over-deadline request (called with the lock held)."""
+        self._terminate(handle, OUTCOME_EXPIRED, DeadlineExceeded(
+            f"request {handle.request_id} ({handle.task}) exceeded its "
+            f"deadline of {handle.request.deadline_s}s {where}"))
+
+    def _terminate(self, handle: RequestHandle, outcome: str,
+                   error: BaseException) -> None:
+        handle.metrics.outcome = outcome
+        handle.metrics.mark_finished()
+        self._completed.append(handle.metrics)
+        self._last_finished_at = time.perf_counter()
+        handle._fail(error)
+
+    def _reap_expired_queued(self) -> bool:
+        """Fail queued generation sessions whose deadline already passed."""
+        expired = self._scheduler.reap_expired()
+        for session in expired:
+            session.state = FAILED
+            handle = self._queued_generation.pop(session.session_id, None)
+            if handle is not None:
+                self._expire(handle, "while queued")
+        return bool(expired)
+
+    def _reap_expired_running(self) -> bool:
+        """Evict running sessions whose deadline passed between decode steps."""
+        if self._manager is None:
+            return False
+        now = time.perf_counter()
+        expired = [s for s in self._manager.running.values() if s.is_expired(now)]
+        for session in expired:
+            self._manager.evict(session, reason=REASON_DEADLINE)
+            session.state = FAILED
+            handle = self._pending_generation.pop(session.session_id, None)
+            if handle is not None:
+                self._expire(handle, "mid-decode")
+        return bool(expired)
 
     # ------------------------------------------------------------------ #
     # Engine loop
@@ -229,7 +497,9 @@ class InferenceServer:
         """
         with self._lock:
             did_work = False
+            did_work |= self._reap_expired_queued()
             did_work |= self._admit_queued()
+            did_work |= self._reap_expired_running()
             did_work |= self._decode_step()
             did_work |= self._flush_decisions()
             return did_work
@@ -265,18 +535,25 @@ class InferenceServer:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the background loop, optionally draining queued work first.
+        """Stop the background loop.
 
-        Without ``drain``, requests still queued or in flight are *failed*
-        (never left unresolved) so no client blocks forever on a handle whose
-        server has gone away.
+        With ``drain`` the engine first finishes everything — *queued* work
+        included, whether or not the background loop is (still) alive: if the
+        loop died or was never started, the remaining work is driven
+        synchronously.  Without ``drain``, queued requests are failed
+        immediately (fail-fast: nothing new is admitted) and in-flight work
+        is failed once the loop exits — either way no client blocks forever
+        on a handle whose server has gone away.
         """
         if drain:
             while self.has_pending_work():
-                if self._thread is None or not self._thread.is_alive():
+                if not self.is_serving:
                     self.run_until_idle()
                     break
                 time.sleep(0.001)
+        else:
+            self._fail_queued(RuntimeError(
+                "server stopped before admitting this request"))
         with self._work:
             self._running = False
             self._work.notify_all()
@@ -314,12 +591,23 @@ class InferenceServer:
                         return
                     self._work.wait(timeout=0.005)
 
+    def _fail_queued(self, error: BaseException) -> None:
+        """Fail every *queued* (not yet admitted) request immediately."""
+        with self._lock:
+            for session in self._scheduler.drain():
+                session.state = FAILED
+                handle = self._queued_generation.pop(session.session_id, None)
+                if handle is not None:
+                    handle._fail(error)
+            for task, pending in list(self._pending_decisions.items()):
+                self._pending_decisions[task] = []
+                for entry in pending:
+                    entry.handle._fail(error)
+
     def _fail_all_pending(self, error: BaseException) -> None:
         """Fail every queued/in-flight request (serve loop is going down)."""
         with self._lock:
-            for session in self._scheduler.admissions(free_slots=10 ** 9):
-                session.state = FAILED
-                self._finish_generation(session, error=error)
+            self._fail_queued(error)
             if self._manager is not None:
                 for session in list(self._manager.running.values()):
                     self._manager.evict(session, reason="failed")
@@ -328,10 +616,6 @@ class InferenceServer:
             for session_id in list(self._pending_generation):
                 handle = self._pending_generation.pop(session_id)
                 handle._fail(error)
-            for task, pending in list(self._pending_decisions.items()):
-                self._pending_decisions[task] = []
-                for request in pending:
-                    request.handle._fail(error)
 
     def _drive(self, handle: RequestHandle, timeout: Optional[float]) -> None:
         """Resolve ``handle``: wait on the loop thread or step synchronously."""
@@ -349,6 +633,24 @@ class InferenceServer:
                         f"request {handle.request_id} cannot complete: engine is idle"))
                 return
 
+    def _pump(self, handle: RequestHandle) -> bool:
+        """One drive round for a blocked ``stream()`` consumer.
+
+        With a live background loop this is a no-op returning False (the
+        loop produces the tokens; the consumer should block on the queue);
+        otherwise the consumer thread steps the engine itself, exactly as
+        ``_drive`` does for ``result()``, and returns True.
+        """
+        if handle.done():
+            return True
+        if self._thread is not None and self._thread.is_alive() \
+                and threading.current_thread() is not self._thread:
+            return False
+        if not self.step() and not handle.done():
+            handle._fail(RuntimeError(
+                f"request {handle.request_id} cannot complete: engine is idle"))
+        return True
+
     # ------------------------------------------------------------------ #
     # Step phases (called with the lock held)
     # ------------------------------------------------------------------ #
@@ -358,6 +660,10 @@ class InferenceServer:
         admitted = self._scheduler.admissions(self._manager.num_free)
         if not admitted:
             return False
+        for session in admitted:
+            handle = self._queued_generation.pop(session.session_id, None)
+            if handle is not None:
+                self._pending_generation[session.session_id] = handle
         try:
             self._manager.admit_many(admitted)
         except Exception:
@@ -402,63 +708,56 @@ class InferenceServer:
 
     def _flush_decisions(self) -> bool:
         did_work = False
-        for task in DECISION_TASKS:
+        now = time.perf_counter()
+        ready: List[Tuple[str, List[_PendingDecision]]] = []
+        for task in list(self._pending_decisions):
             pending = self._pending_decisions.get(task)
             if not pending:
                 continue
             self._pending_decisions[task] = []
-            groups: Dict[Tuple, List[_DecisionRequest]] = {}
-            for request in pending:
-                groups.setdefault(request.group_key, []).append(request)
-            for group in groups.values():
-                self._execute_decision_group(task, group)
-                self._scheduler.record_step(len(group))
+            groups: Dict[Hashable, List[_PendingDecision]] = {}
+            for entry in pending:
+                if entry.is_expired(now):
+                    self._expire(entry.handle, "while queued")
+                    continue
+                groups.setdefault(entry.group_key, []).append(entry)
+            ready.extend((task, group) for group in groups.values())
             did_work = True
+        # Higher-priority groups execute first within the flush round (every
+        # pending decision still runs this step; priority orders the batched
+        # forwards, which is what bounds a high-priority request's latency).
+        ready.sort(key=lambda item: -max(e.request.priority for e in item[1]))
+        for task, group in ready:
+            self._execute_decision_group(task, group)
+            self._scheduler.record_step(len(group))
         return did_work
 
     def _execute_decision_group(self, task: str,
-                                group: List[_DecisionRequest]) -> None:
-        adapter = self._adapters[task]
-        for request in group:
-            request.handle.metrics.mark_admitted()
-            request.handle.metrics.batch_sizes.append(len(group))
+                                group: List[_PendingDecision]) -> None:
+        runtime = self._runtimes[task]
+        for entry in group:
+            entry.handle.metrics.mark_admitted()
+            entry.handle.metrics.batch_sizes.append(len(group))
         try:
-            if task == "vp":
-                predictions = adapter.predict_batch([r.payload for r in group])
-                results: List[Any] = predictions
-            else:
-                returns = np.stack([r.payload["returns"] for r in group])
-                states = np.stack([r.payload["states"] for r in group])
-                actions = np.stack([r.payload["actions"] for r in group])
-                masks = None
-                if task == "cjs":
-                    masks = np.stack([r.payload["valid_mask"] for r in group])
-                results = adapter.act_batch(returns, states, actions, valid_masks=masks)
+            results = runtime.execute_batch([entry.request for entry in group])
+            if len(results) != len(group):
+                raise RuntimeError(
+                    f"task runtime {task!r} returned {len(results)} results "
+                    f"for a batch of {len(group)}")
         except Exception as error:
-            for request in group:
-                request.handle.metrics.mark_finished()
-                request.handle._fail(error)
+            for entry in group:
+                entry.handle.metrics.mark_finished()
+                entry.handle._fail(error)
             return
         self._last_finished_at = time.perf_counter()
-        for request, result in zip(group, results):
-            request.handle.metrics.mark_finished()
-            self._completed.append(request.handle.metrics)
-            request.handle._resolve(result)
+        for entry, result in zip(group, results):
+            entry.handle.metrics.mark_finished()
+            self._completed.append(entry.handle.metrics)
+            entry.handle._resolve(result)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _group_key(task: str, payload: Any) -> Tuple:
-        """Batching-compatibility key for a decision request."""
-        if task == "vp":
-            history = payload.history
-            saliency = payload.saliency
-            saliency_key = None if saliency is None else tuple(saliency.shape)
-            return (tuple(history.shape), saliency_key)
-        states = payload["states"]
-        return (int(states.shape[0]),)
-
     def _note_submission(self) -> None:
         if self._started_at is None:
             self._started_at = time.perf_counter()

@@ -15,11 +15,21 @@ from typing import Dict, List, Optional
 from ..utils import percentile
 
 
+#: Request outcomes (``RequestMetrics.outcome``).
+OUTCOME_OK = "ok"
+OUTCOME_CANCELLED = "cancelled"
+OUTCOME_EXPIRED = "expired"
+
+
 @dataclass
 class RequestMetrics:
     """Lifecycle timing of one request through the engine."""
 
     task: str
+    priority: int = 0
+    #: How the request ended: completed (``"ok"``), ``handle.cancel()``-ed
+    #: (``"cancelled"``) or past its ``deadline_s`` (``"expired"``).
+    outcome: str = OUTCOME_OK
     submitted_at: float = field(default_factory=time.perf_counter)
     admitted_at: Optional[float] = None
     first_token_at: Optional[float] = None
@@ -41,10 +51,16 @@ class RequestMetrics:
 
     @property
     def queue_seconds(self) -> float:
-        """Time spent waiting before the scheduler admitted the request."""
-        if self.admitted_at is None:
-            return 0.0
-        return self.admitted_at - self.submitted_at
+        """Time spent waiting before the scheduler admitted the request.
+
+        A request that ended *in the queue* (cancelled or deadline-expired
+        before admission) reports its full queued lifetime.
+        """
+        if self.admitted_at is not None:
+            return self.admitted_at - self.submitted_at
+        if self.finished_at is not None:
+            return self.finished_at - self.submitted_at
+        return 0.0
 
     @property
     def decode_seconds(self) -> float:
@@ -87,6 +103,13 @@ class ServerStats:
     mean_batch_occupancy: float
     max_queue_depth: int
     per_task: Dict[str, int]
+    #: Queue-wait p50/p95 (and count) per priority class, over every request
+    #: that reached a terminal state — including ones that died in the queue.
+    queue_by_priority: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Requests that ended without completing: ``handle.cancel()``-ed and
+    #: ``deadline_s``-expired (both excluded from ``requests_completed``).
+    cancelled: int = 0
+    expired: int = 0
     #: Mean/peak KV-cache blocks live across decode steps, and the pool cap.
     mean_blocks_in_use: float = 0.0
     peak_blocks_in_use: int = 0
@@ -111,13 +134,22 @@ class ServerStats:
                       block_capacity: int = 0,
                       prefix_hits: int = 0, prefix_misses: int = 0,
                       prefix_tokens_reused: int = 0) -> "ServerStats":
-        finished = [r for r in requests if r.finished_at is not None]
+        terminal = [r for r in requests if r.finished_at is not None]
+        finished = [r for r in terminal if r.outcome == OUTCOME_OK]
         tokens = sum(r.tokens_generated for r in finished)
         latencies = [r.total_seconds for r in finished]
         queues = [r.queue_seconds for r in finished]
         per_task: Dict[str, int] = {}
         for request in finished:
             per_task[request.task] = per_task.get(request.task, 0) + 1
+        queue_by_priority: Dict[int, Dict[str, float]] = {}
+        for priority in sorted({r.priority for r in terminal}):
+            waits = [r.queue_seconds for r in terminal if r.priority == priority]
+            queue_by_priority[priority] = {
+                "count": len(waits),
+                "queue_p50_s": percentile(waits, 50),
+                "queue_p95_s": percentile(waits, 95),
+            }
         block_usage = list(block_usage_samples)
         return cls(
             requests_completed=len(finished),
@@ -132,6 +164,9 @@ class ServerStats:
                                   if occupancy_samples else 0.0),
             max_queue_depth=max(queue_depth_samples) if queue_depth_samples else 0,
             per_task=per_task,
+            queue_by_priority=queue_by_priority,
+            cancelled=sum(r.outcome == OUTCOME_CANCELLED for r in terminal),
+            expired=sum(r.outcome == OUTCOME_EXPIRED for r in terminal),
             mean_blocks_in_use=(sum(block_usage) / len(block_usage)
                                 if block_usage else 0.0),
             peak_blocks_in_use=max(block_usage) if block_usage else 0,
@@ -155,6 +190,10 @@ class ServerStats:
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_queue_depth": self.max_queue_depth,
             "per_task": dict(self.per_task),
+            "queue_by_priority": {str(priority): dict(stats)
+                                  for priority, stats in self.queue_by_priority.items()},
+            "cancelled": self.cancelled,
+            "expired": self.expired,
             "mean_blocks_in_use": self.mean_blocks_in_use,
             "peak_blocks_in_use": self.peak_blocks_in_use,
             "block_capacity": self.block_capacity,

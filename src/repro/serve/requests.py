@@ -1,0 +1,149 @@
+"""Typed request/response surface of the serving engine.
+
+The engine's wire format is a pair of frozen dataclasses — a
+:class:`GenerateRequest` for streaming autoregressive sessions and a
+:class:`DecisionRequest` for per-step adapter inferences — plus per-task
+result types.  Freezing the request objects keeps submissions immutable once
+queued (the scheduler may hold them arbitrarily long), and separating the
+request surface from the engine lets the scheduler/runtime evolve without
+breaking clients, the way vLLM's ``SamplingParams``/request objects decouple
+its API from its scheduler.
+
+Every request carries the cross-cutting lifecycle fields:
+
+* ``priority`` — admission class.  For generation sessions, higher classes
+  leave the waiting queue first (FIFO within a class; starvation-free aging
+  is a scheduler policy knob).  Decision requests all execute in the next
+  flush round regardless of class — there, priority orders the batched
+  forwards within the round and labels the per-class queue statistics.
+* ``deadline_s`` — a relative completion deadline.  A request that cannot
+  finish in time fails with :class:`DeadlineExceeded` — still in the queue,
+  between decode steps, or before a decision batch executes — immediately
+  releasing any resources (KV blocks) it holds.
+
+Cancellation (:meth:`~repro.serve.engine.RequestHandle.cancel`) fails the
+handle with :class:`RequestCancelled` and likewise releases resources
+immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Optional, Tuple
+
+import numpy as np
+
+#: Suggested priority classes.  Priorities are plain ints — any value works;
+#: higher means admitted sooner.  These names just anchor the convention.
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
+
+
+class RequestCancelled(RuntimeError):
+    """The request was cancelled via ``handle.cancel()`` before completing."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's ``deadline_s`` elapsed before it could complete."""
+
+
+def _validate_lifecycle(priority: int, deadline_s: Optional[float]) -> None:
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise TypeError(f"priority must be an int class, got {priority!r}")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError(f"deadline_s must be positive seconds, got {deadline_s}")
+
+
+@dataclass(frozen=True)
+class GenerateRequest:
+    """One streaming autoregressive generation request.
+
+    ``stream=True`` lets the client consume tokens as decode steps commit
+    them via :meth:`~repro.serve.engine.RequestHandle.stream`; the final
+    :class:`~repro.llm.generation.GenerationResult` is unchanged either way.
+    """
+
+    task: ClassVar[str] = "generate"
+
+    prompt: str
+    max_new_tokens: int = 64
+    temperature: float = 0.0
+    seed: int = 0
+    stop_on_eos: bool = True
+    stream: bool = False
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.prompt, str):
+            raise TypeError(f"prompt must be a string, got {type(self.prompt).__name__}")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        _validate_lifecycle(self.priority, self.deadline_s)
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One per-step decision inference answered by a registered task runtime.
+
+    ``task`` names a runtime registered on the server (the built-ins are
+    ``"vp"``/``"abr"``/``"cjs"``, see :mod:`repro.serve.runtimes`); ``payload``
+    is whatever that runtime's ``execute_batch`` consumes.
+    """
+
+    task: str
+    payload: Any = None
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.task, str) or not self.task:
+            raise TypeError(f"task must be a non-empty string, got {self.task!r}")
+        _validate_lifecycle(self.priority, self.deadline_s)
+
+
+# ---------------------------------------------------------------------- #
+# Per-task result types
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VPResult:
+    """Viewport prediction answer: the predicted viewport angles."""
+
+    viewport: np.ndarray = field(repr=False)
+
+    @property
+    def value(self):
+        """The bare payload the pre-typed ``submit(task=str)`` API returned."""
+        return self.viewport
+
+
+@dataclass(frozen=True)
+class ABRResult:
+    """Adaptive-bitrate answer: the greedy action tuple (bitrate index)."""
+
+    action: Tuple[int, ...]
+
+    @property
+    def bitrate(self) -> int:
+        return self.action[0]
+
+    @property
+    def value(self):
+        """The bare payload the pre-typed ``submit(task=str)`` API returned."""
+        return self.action
+
+
+@dataclass(frozen=True)
+class CJSResult:
+    """Cluster-scheduling answer: the chosen stage and parallelism bucket."""
+
+    stage_index: int
+    bucket: int
+
+    @property
+    def value(self):
+        """The bare payload the pre-typed ``submit(task=str)`` API returned."""
+        return (self.stage_index, self.bucket)

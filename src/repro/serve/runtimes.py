@@ -1,0 +1,122 @@
+"""Pluggable task runtimes: how the engine executes decision requests.
+
+A :class:`TaskRuntime` answers one named task's :class:`DecisionRequest`
+traffic.  The engine only knows the protocol — ``group_key`` partitions
+pending requests into batch-compatible groups between decode steps, and
+``execute_batch`` answers one group in a single forward — so adding a task is
+a registration (:meth:`~repro.serve.engine.InferenceServer.register_task`),
+not an engine edit.  The three NetLLM decision tasks (``vp``/``abr``/``cjs``)
+live here as the built-in registrations the old hard-coded engine branches
+became.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Protocol, Sequence, Type, runtime_checkable
+
+import numpy as np
+
+from .requests import ABRResult, CJSResult, DecisionRequest, VPResult
+
+
+@runtime_checkable
+class TaskRuntime(Protocol):
+    """Executes one task's decision requests in batch-compatible groups."""
+
+    def group_key(self, request: DecisionRequest) -> Hashable:
+        """Batching-compatibility key: equal keys may share one forward."""
+        ...
+
+    def execute_batch(self, requests: Sequence[DecisionRequest]) -> List[Any]:
+        """Answer one group (all sharing a ``group_key``); one result per
+        request, in order."""
+        ...
+
+
+class VPRuntime:
+    """Viewport prediction through ``VPAdapter.predict_batch``."""
+
+    def __init__(self, adapter: Any) -> None:
+        self.adapter = adapter
+
+    def group_key(self, request: DecisionRequest) -> Hashable:
+        sample = request.payload
+        saliency = sample.saliency
+        saliency_key = None if saliency is None else tuple(saliency.shape)
+        return (tuple(sample.history.shape), saliency_key)
+
+    def execute_batch(self, requests: Sequence[DecisionRequest]) -> List[VPResult]:
+        predictions = self.adapter.predict_batch([r.payload for r in requests])
+        return [VPResult(viewport=prediction) for prediction in predictions]
+
+
+class _ReturnConditionedRuntime:
+    """Shared grouping/stacking for the return-conditioned decision tasks.
+
+    Payloads are the context dicts the NetLLM deployment policies prepare
+    (``returns``/``states``/``actions`` and, for CJS, ``valid_mask``); windows
+    of equal length batch into one ``DecisionAdapter.act_batch`` forward.
+    """
+
+    uses_valid_mask = False
+
+    def __init__(self, adapter: Any) -> None:
+        self.adapter = adapter
+
+    def group_key(self, request: DecisionRequest) -> Hashable:
+        return (int(request.payload["states"].shape[0]),)
+
+    def execute_batch(self, requests: Sequence[DecisionRequest]) -> List[Any]:
+        payloads = [r.payload for r in requests]
+        returns = np.stack([p["returns"] for p in payloads])
+        states = np.stack([p["states"] for p in payloads])
+        actions = np.stack([p["actions"] for p in payloads])
+        masks = (np.stack([p["valid_mask"] for p in payloads])
+                 if self.uses_valid_mask else None)
+        answers = self.adapter.act_batch(returns, states, actions, valid_masks=masks)
+        return [self._wrap(answer) for answer in answers]
+
+    def _wrap(self, answer: Any) -> Any:
+        raise NotImplementedError
+
+
+class ABRRuntime(_ReturnConditionedRuntime):
+    """Adaptive bitrate decisions through ``DecisionAdapter.act_batch``."""
+
+    def _wrap(self, answer: Any) -> ABRResult:
+        return ABRResult(action=tuple(answer))
+
+
+class CJSRuntime(_ReturnConditionedRuntime):
+    """Cluster-scheduling decisions through ``DecisionAdapter.act_batch``."""
+
+    uses_valid_mask = True
+
+    def _wrap(self, answer: Any) -> CJSResult:
+        stage_index, bucket = answer
+        return CJSResult(stage_index=int(stage_index), bucket=int(bucket))
+
+
+#: The built-in task registrations (adapter in, runtime out).
+BUILTIN_RUNTIMES: Dict[str, Type] = {
+    "vp": VPRuntime,
+    "abr": ABRRuntime,
+    "cjs": CJSRuntime,
+}
+
+
+def build_runtime(task: str, adapter: Any) -> TaskRuntime:
+    """Wrap ``adapter`` in the built-in runtime for ``task``.
+
+    This is the compatibility bridge behind ``register_adapter``/the
+    ``adapters=`` constructor argument; novel tasks implement
+    :class:`TaskRuntime` directly and go through ``register_task``.
+    """
+    try:
+        runtime_cls = BUILTIN_RUNTIMES[task]
+    except KeyError:
+        raise ValueError(
+            f"unknown decision task {task!r}; expected one of "
+            f"{tuple(BUILTIN_RUNTIMES)} (for a novel task, implement "
+            f"TaskRuntime and call register_task)") from None
+    return runtime_cls(adapter)

@@ -1,17 +1,22 @@
 """Continuous-batching scheduler: request queue + admission/eviction policy.
 
-The scheduler owns the FIFO request queue and decides, between decode steps,
-which queued sessions join the in-flight batch (vLLM-style continuous
-batching: admissions happen whenever slots free up, never only at batch
-boundaries).  It also samples the queue depth and batch occupancy that feed
-the :class:`~repro.serve.metrics.ServerStats` report.
+The scheduler owns the request queue and decides, between decode steps, which
+queued sessions join the in-flight batch (vLLM-style continuous batching:
+admissions happen whenever slots free up, never only at batch boundaries).
+Admission is **priority-class** ordered: a higher ``priority`` leaves the
+queue first, FIFO within a class, and waiting requests *age* into higher
+effective classes (``priority_aging_s``) so a busy high-priority stream can
+never starve background work.  The scheduler also samples the queue depth and
+batch occupancy that feed the :class:`~repro.serve.metrics.ServerStats`
+report.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from ..nn import DEFAULT_BLOCK_SIZE
 from .session import GenerationSession
@@ -26,22 +31,27 @@ class SchedulerPolicy:
     generated); ``None`` defers to the model's ``max_seq_len``.  ``max_queue``
     bounds the waiting queue — submissions beyond it are rejected, which is
     the backpressure signal a load balancer in front of the engine would
-    consume.  ``block_size`` is the paged KV-cache block granularity (an
-    explicit ``max_context`` must be a whole number of blocks so the context
-    cap and the pool reservation agree).  ``prefill_padding`` bounds padding
-    waste in ragged batched prefill: prompt tails are partitioned into length
-    bands (greedily, over the sorted lengths) such that each band's
-    right-padded token count stays within ``(1 + prefill_padding)`` of its
-    real token count — small bound, many narrow bands; large bound, few wide
-    ones.  ``ragged_prefill=False`` falls back to equal-length-only grouping
-    (the pre-paging behaviour, kept for benchmarking).
-    ``enable_prefix_cache`` turns shared prompt-head caching on;
-    ``max_prefixes`` bounds how many heads stay resident (LRU beyond that).
+    consume.  ``priority_aging_s`` makes priority admission starvation-free:
+    a queued request's effective class grows by one per ``priority_aging_s``
+    seconds waited, so any request eventually outranks fresh higher-priority
+    traffic (``None`` disables aging: strict classes).  ``block_size`` is the
+    paged KV-cache block granularity (an explicit ``max_context`` must be a
+    whole number of blocks so the context cap and the pool reservation
+    agree).  ``prefill_padding`` bounds padding waste in ragged batched
+    prefill: prompt tails are partitioned into length bands (greedily, over
+    the sorted lengths) such that each band's right-padded token count stays
+    within ``(1 + prefill_padding)`` of its real token count — small bound,
+    many narrow bands; large bound, few wide ones.  ``ragged_prefill=False``
+    falls back to equal-length-only grouping (the pre-paging behaviour, kept
+    for benchmarking).  ``enable_prefix_cache`` turns shared prompt-head
+    caching on; ``max_prefixes`` bounds how many heads stay resident (LRU
+    beyond that).
     """
 
     max_batch_size: int = 16
     max_context: Optional[int] = None
     max_queue: Optional[int] = None
+    priority_aging_s: Optional[float] = 30.0
     block_size: int = DEFAULT_BLOCK_SIZE
     prefill_padding: float = 0.5
     ragged_prefill: bool = True
@@ -60,6 +70,10 @@ class SchedulerPolicy:
                 f"prefill_padding must be >= 0, got {self.prefill_padding}")
         if self.max_prefixes < 1:
             raise ValueError(f"max_prefixes must be >= 1, got {self.max_prefixes}")
+        if self.priority_aging_s is not None and self.priority_aging_s <= 0:
+            raise ValueError(
+                f"priority_aging_s must be positive seconds (or None to "
+                f"disable aging), got {self.priority_aging_s}")
         if self.max_context is not None:
             if self.max_context < 2:
                 raise ValueError("max_context must be >= 2")
@@ -72,15 +86,23 @@ class SchedulerPolicy:
             raise ValueError("max_queue must be >= 1")
 
 
+@dataclass
+class _QueueEntry:
+    seq: int
+    enqueued_at: float
+    session: GenerationSession
+
+
 class ContinuousBatchingScheduler:
-    """FIFO admission of queued sessions into freed batch slots."""
+    """Priority-class admission of queued sessions into freed batch slots."""
 
     #: Per-step samples retained for stats (bounded for long-lived servers).
     MAX_SAMPLES = 65536
 
     def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
         self.policy = policy or SchedulerPolicy()
-        self._queue: Deque[GenerationSession] = deque()
+        self._queue: List[_QueueEntry] = []
+        self._seq = 0
         self.queue_depth_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.occupancy_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.block_usage_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
@@ -98,15 +120,60 @@ class ContinuousBatchingScheduler:
                 and len(self._queue) >= self.policy.max_queue):
             self.rejected_total += 1
             return False
-        self._queue.append(session)
+        self._queue.append(_QueueEntry(seq=self._seq,
+                                       enqueued_at=time.perf_counter(),
+                                       session=session))
+        self._seq += 1
         return True
 
-    def admissions(self, free_slots: int) -> List[GenerationSession]:
-        """Pop the sessions to admit into the freed slots (FIFO order)."""
+    def remove(self, session: GenerationSession) -> bool:
+        """Drop a queued session (cancellation); False when not queued."""
+        for index, entry in enumerate(self._queue):
+            if entry.session is session:
+                del self._queue[index]
+                return True
+        return False
+
+    def effective_priority(self, entry: _QueueEntry, now: float) -> int:
+        """The entry's priority class after starvation-free aging."""
+        aging = self.policy.priority_aging_s
+        if aging is None:
+            return entry.session.priority
+        return entry.session.priority + int((now - entry.enqueued_at) / aging)
+
+    def admissions(self, free_slots: int,
+                   now: Optional[float] = None) -> List[GenerationSession]:
+        """Pop the sessions to admit into the freed slots.
+
+        Highest effective priority class first; FIFO (submission order)
+        within a class.
+        """
         grant = min(free_slots, len(self._queue))
-        admitted = [self._queue.popleft() for _ in range(grant)]
-        self.admitted_total += len(admitted)
-        return admitted
+        if grant <= 0:
+            return []
+        now = time.perf_counter() if now is None else now
+        ranked = sorted(self._queue,
+                        key=lambda e: (-self.effective_priority(e, now), e.seq))
+        chosen = ranked[:grant]
+        taken = {id(entry) for entry in chosen}
+        self._queue = [entry for entry in self._queue if id(entry) not in taken]
+        self.admitted_total += len(chosen)
+        return [entry.session for entry in chosen]
+
+    def reap_expired(self, now: Optional[float] = None) -> List[GenerationSession]:
+        """Pop every queued session whose deadline has already passed."""
+        now = time.perf_counter() if now is None else now
+        expired = [e.session for e in self._queue if e.session.is_expired(now)]
+        if expired:
+            dead = set(map(id, expired))
+            self._queue = [e for e in self._queue if id(e.session) not in dead]
+        return expired
+
+    def drain(self) -> List[GenerationSession]:
+        """Pop every queued session (shutdown/fail-fast path)."""
+        drained = [entry.session for entry in self._queue]
+        self._queue = []
+        return drained
 
     # ------------------------------------------------------------------ #
     def record_step(self, batch_size: int,

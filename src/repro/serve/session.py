@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,8 @@ FAILED = "failed"
 REASON_EOS = "eos"
 REASON_MAX_TOKENS = "max_tokens"
 REASON_CONTEXT_FULL = "context_full"
+REASON_CANCELLED = "cancelled"
+REASON_DEADLINE = "deadline"
 
 
 @dataclass
@@ -47,6 +49,9 @@ class GenerationSession:
     temperature: float = 0.0
     seed: int = 0
     stop_on_eos: bool = True
+    priority: int = 0
+    #: Absolute ``time.perf_counter()`` completion deadline (None: none).
+    deadline_at: Optional[float] = None
     state: str = QUEUED
     slot: Optional[int] = None
     prompt_ids: List[int] = field(default_factory=list)
@@ -55,8 +60,15 @@ class GenerationSession:
     finish_reason: Optional[str] = None
     num_inferences: int = 0
     metrics: RequestMetrics = field(default_factory=lambda: RequestMetrics(task="generate"))
+    #: Called with each committed token id (streaming handles subscribe here).
+    on_token: Optional[Callable[[int], None]] = field(default=None, repr=False)
     _rng: Optional[np.random.Generator] = field(default=None, repr=False)
     _last_step_at: Optional[float] = field(default=None, repr=False)
+
+    def is_expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.perf_counter() if now is None else now) > self.deadline_at
 
     def rng(self) -> np.random.Generator:
         if self._rng is None:
@@ -334,6 +346,8 @@ class SessionManager:
             return False
         session.generated.append(next_id)
         session.metrics.tokens_generated = len(session.generated)
+        if session.on_token is not None:
+            session.on_token(next_id)
         if len(session.generated) >= session.max_new_tokens:
             self.evict(session, REASON_MAX_TOKENS)
             return False

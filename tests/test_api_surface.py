@@ -1,0 +1,118 @@
+"""Public-API snapshot for ``repro.serve``.
+
+The serving package is the repo's outward-facing surface: these tests pin
+``repro.serve.__all__`` and the signatures of the typed request/result
+dataclasses so a future PR that changes the wire surface has to edit this
+file — breaking the API consciously instead of by accident.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import repro.serve as serve
+
+#: The exported surface.  Additions are fine (extend the list); removals or
+#: renames are breaking changes — update every client with the same PR.
+EXPECTED_ALL = {
+    # Typed requests / results / errors.
+    "GenerateRequest", "DecisionRequest",
+    "GenerationResult", "VPResult", "ABRResult", "CJSResult",
+    "RequestCancelled", "DeadlineExceeded",
+    "PRIORITY_LOW", "PRIORITY_NORMAL", "PRIORITY_HIGH",
+    # Pluggable task runtimes.
+    "TaskRuntime", "VPRuntime", "ABRRuntime", "CJSRuntime", "build_runtime",
+    # Engine and scheduling.
+    "InferenceServer", "RequestHandle",
+    "ContinuousBatchingScheduler", "SchedulerPolicy",
+    "GenerationSession", "SessionManager",
+    "PrefixCache", "PrefixEntry",
+    "RequestMetrics", "ServerStats",
+    # Task-side clients.
+    "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",
+    "ServedVPPredictor", "serve_vp_predictions",
+}
+
+
+def _fields(cls):
+    return {f.name: f.default for f in dataclasses.fields(cls)}
+
+
+class TestServeSurface:
+    def test_all_matches_snapshot(self):
+        assert set(serve.__all__) == EXPECTED_ALL
+        for name in serve.__all__:  # every export actually resolves
+            assert hasattr(serve, name), f"__all__ lists missing name {name!r}"
+
+    def test_generate_request_signature(self):
+        fields = _fields(serve.GenerateRequest)
+        assert fields == {
+            "prompt": dataclasses.MISSING,
+            "max_new_tokens": 64,
+            "temperature": 0.0,
+            "seed": 0,
+            "stop_on_eos": True,
+            "stream": False,
+            "priority": 0,
+            "deadline_s": None,
+        }
+        assert serve.GenerateRequest.__dataclass_params__.frozen
+        assert serve.GenerateRequest.task == "generate"
+
+    def test_decision_request_signature(self):
+        fields = _fields(serve.DecisionRequest)
+        assert fields == {
+            "task": dataclasses.MISSING,
+            "payload": None,
+            "priority": 0,
+            "deadline_s": None,
+        }
+        assert serve.DecisionRequest.__dataclass_params__.frozen
+
+    def test_result_types(self):
+        assert set(_fields(serve.VPResult)) == {"viewport"}
+        assert set(_fields(serve.ABRResult)) == {"action"}
+        assert set(_fields(serve.CJSResult)) == {"stage_index", "bucket"}
+        for result_cls in (serve.VPResult, serve.ABRResult, serve.CJSResult):
+            assert result_cls.__dataclass_params__.frozen
+            assert isinstance(getattr(result_cls, "value"), property)
+        assert isinstance(getattr(serve.ABRResult, "bitrate"), property)
+        # Generation resolves to the shared GenerationResult dataclass.
+        assert {"text", "token_ids", "num_inferences", "elapsed_seconds",
+                "stopped_by_eos"} <= set(_fields(serve.GenerationResult))
+
+    def test_lifecycle_errors(self):
+        assert issubclass(serve.RequestCancelled, RuntimeError)
+        assert issubclass(serve.DeadlineExceeded, TimeoutError)
+        assert (serve.PRIORITY_LOW, serve.PRIORITY_NORMAL,
+                serve.PRIORITY_HIGH) == (0, 1, 2)
+
+    def test_request_handle_lifecycle_methods(self):
+        for method in ("result", "stream", "cancel", "done", "cancelled"):
+            assert callable(getattr(serve.RequestHandle, method))
+        stream_params = inspect.signature(serve.RequestHandle.stream).parameters
+        assert "timeout" in stream_params
+
+    def test_task_runtime_protocol(self):
+        assert hasattr(serve.TaskRuntime, "group_key")
+        assert hasattr(serve.TaskRuntime, "execute_batch")
+        for runtime_cls in (serve.VPRuntime, serve.ABRRuntime, serve.CJSRuntime):
+            assert isinstance(runtime_cls(adapter=None), serve.TaskRuntime)
+
+    def test_server_submission_surface(self):
+        submit_params = list(
+            inspect.signature(serve.InferenceServer.submit).parameters)
+        assert submit_params[:3] == ["self", "request", "payload"]
+        for method in ("register_task", "register_adapter", "register_prefix",
+                       "submit_generation", "start", "stop", "step",
+                       "run_until_idle", "stats"):
+            assert callable(getattr(serve.InferenceServer, method))
+
+    def test_scheduler_policy_knobs(self):
+        fields = _fields(serve.SchedulerPolicy)
+        assert {"max_batch_size", "max_context", "max_queue",
+                "priority_aging_s", "block_size", "prefill_padding",
+                "ragged_prefill", "enable_prefix_cache",
+                "max_prefixes"} == set(fields)
+        assert fields["priority_aging_s"] == 30.0

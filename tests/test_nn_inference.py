@@ -102,6 +102,44 @@ class TestNoGrad:
         loss.backward()
         np.testing.assert_allclose(x.grad, [6.0])
 
+    def test_grad_mode_is_thread_local(self):
+        """A no_grad inference thread must not disable another thread's
+        autograd (the background-serve-loop-vs-training regression)."""
+        import threading
+
+        inference_entered = threading.Event()
+        training_done = threading.Event()
+        observed = {}
+
+        def inference_thread():
+            # New threads start with grad enabled regardless of the spawner.
+            observed["fresh_default"] = is_grad_enabled()
+            with no_grad():
+                observed["inference_off"] = not is_grad_enabled()
+                out = Tensor(np.ones(3), requires_grad=True) * 2.0
+                observed["no_graph"] = (not out.requires_grad and out._prev == ())
+                inference_entered.set()
+                # Hold no_grad while the main thread trains.
+                assert training_done.wait(timeout=30)
+            observed["restored"] = is_grad_enabled()
+
+        worker = threading.Thread(target=inference_thread)
+        worker.start()
+        try:
+            assert inference_entered.wait(timeout=30)
+            # The worker sits inside no_grad right now; this thread still
+            # records graphs and backpropagates.
+            assert is_grad_enabled()
+            x = Tensor(np.array([3.0]), requires_grad=True)
+            loss = (x * x).sum()
+            loss.backward()
+            np.testing.assert_allclose(x.grad, [6.0])
+        finally:
+            training_done.set()
+            worker.join(timeout=30)
+        assert observed == {"fresh_default": True, "inference_off": True,
+                            "no_graph": True, "restored": True}
+
 
 class TestItemDetachDtype:
     def test_item_multi_element_raises_value_error(self):

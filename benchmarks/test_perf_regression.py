@@ -1,0 +1,75 @@
+"""Machine-checked perf trajectory: fresh results vs committed baselines.
+
+Thin ``slow``-marked wrapper over :mod:`check_regression` so a full
+benchmark session fails loudly when a watched metric regresses past its
+tolerance, instead of the drift being eyeballed in JSON diffs.  The checker
+compares whatever ``benchmarks/results/`` currently holds (the perf
+benchmarks overwrite it in-session; otherwise it is the committed state)
+against ``benchmarks/baselines/``.
+"""
+
+import pytest
+
+from check_regression import WATCHED, check, compare_file
+
+pytestmark = pytest.mark.slow
+
+
+def test_no_perf_regressions_vs_baselines():
+    regressions, checked = check()
+    assert checked, "no watched perf results found to compare"
+    assert not regressions, "\n".join(regressions)
+
+
+def test_compare_file_flags_both_directions():
+    baseline = {"a": {"tokens": 100.0}, "ratio": 0.2}
+    metrics = {"a.tokens": "higher", "ratio": "lower"}
+    # Within tolerance: a 2x slowdown at tolerance 0.5 is the exact floor.
+    ok = compare_file(baseline, {"a": {"tokens": 50.0}, "ratio": 0.4},
+                      metrics, tolerance=0.5, name="x")
+    assert ok == []
+    bad = compare_file(baseline, {"a": {"tokens": 49.0}, "ratio": 0.5},
+                       metrics, tolerance=0.5, name="x")
+    assert len(bad) == 2
+    assert "fell to 49" in bad[0] and "rose to 0.5" in bad[1]
+    # A missing key is schema drift and counts as a regression.
+    missing = compare_file(baseline, {"ratio": 0.2}, metrics,
+                           tolerance=0.5, name="x")
+    assert any("unresolvable" in line for line in missing)
+    # So is an intermediate node that stopped being a dict: the checker must
+    # report it, not crash with a TypeError.
+    flattened = compare_file(baseline, {"a": 5.0, "ratio": 0.2}, metrics,
+                             tolerance=0.5, name="x")
+    assert any("unresolvable" in line for line in flattened)
+
+
+def test_gate_caps_relative_tolerance():
+    """A value the benchmark's own acceptance gate allows is never flagged,
+    however much better the committed baseline happens to be."""
+    baseline = {"itl": 0.05, "tput": 1.6}
+    metrics = {"itl": {"direction": "lower", "gate": 0.5},
+               "tput": {"direction": "higher", "gate": 0.9}}
+    # itl 0.3 is 6x the baseline ratio but inside the 0.5 acceptance gate
+    # (ceiling = max(0.05/0.5, 0.5) = 0.5); tput 1.0 clears the floor
+    # min(0.5 * 1.6, 0.9) = 0.8.  Neither is a regression.
+    ok = compare_file(baseline, {"itl": 0.3, "tput": 1.0}, metrics,
+                      tolerance=0.5, name="x")
+    assert ok == []
+    # Past both the relative tolerance AND the gate, regressions fire.
+    bad = compare_file(baseline, {"itl": 0.6, "tput": 0.7}, metrics,
+                       tolerance=0.5, name="x")
+    assert len(bad) == 2
+
+
+def test_watched_metrics_exist_in_baselines():
+    """Every watched dotted path resolves inside its committed baseline."""
+    from check_regression import BASELINES_DIR, extract
+    import json
+
+    for name, metrics in WATCHED.items():
+        path = BASELINES_DIR / name
+        assert path.exists(), f"missing committed baseline {path}"
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for dotted in metrics:
+            extract(payload, dotted)  # raises KeyError on drift

@@ -1,0 +1,142 @@
+"""Serving tail-latency benchmark (BENCH trajectory): chunked prefill.
+
+Measures what the unified token-budget step scheduler exists to fix: a long
+prompt arriving while short sessions are mid-decode.  With one-shot prefill
+the whole 512-token prompt runs in a single engine step, so every in-flight
+session's inter-token latency (ITL) spikes by the full prefill wall time —
+the head-of-line stall.  With ``SchedulerPolicy.prefill_chunk_size`` the
+prompt is admitted across many steps, each bounded by
+``step_token_budget``, so in-flight ITL stays near the plain decode step
+time while aggregate throughput is preserved.
+
+Workload: ``NUM_SHORT`` short generation sessions decode concurrently; once
+they are warmed up, one ``LONG_PROMPT_TOKENS``-token prompt arrives
+mid-stream.  Reported per mode (one-shot vs chunked): the short sessions'
+ITL p50/p95, the long prompt's TTFT, and aggregate tokens/s.  Results go to
+``benchmarks/results/perf_serving_latency.json``.
+
+Acceptance (ISSUE 5): chunked prefill cuts the in-flight sessions' ITL p95
+to <= 0.5x the one-shot baseline while keeping aggregate throughput >= 0.9x.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import print_table, save_results
+
+from repro.llm import LanguageModel
+from repro.llm.config import LLMConfig
+from repro.serve import GenerateRequest, InferenceServer, SchedulerPolicy
+from repro.utils import percentile
+
+pytestmark = pytest.mark.slow
+
+#: Context large enough for the 512-token prompt plus decode room; the
+#: model otherwise matches the llama2-7b-sim stand-in's shape.
+CONFIG = LLMConfig(name="latency-bench", family="test", d_model=64,
+                   num_layers=3, num_heads=4, max_seq_len=640)
+
+NUM_SHORT = 6
+SHORT_TOKENS = 14          # tokens per short session (13 ITL samples each)
+LONG_PROMPT_TOKENS = 512   # prompt tokens of the mid-stream arrival
+LONG_NEW_TOKENS = 16
+WARMUP_STEPS = 4           # decode steps before the long prompt arrives
+PREFILL_CHUNK = 32
+STEP_TOKEN_BUDGET = 48
+REPETITIONS = 3
+
+
+def _policy(chunked: bool) -> SchedulerPolicy:
+    return SchedulerPolicy(
+        max_batch_size=NUM_SHORT + 2, max_context=640, block_size=16,
+        enable_prefix_cache=False,
+        prefill_chunk_size=PREFILL_CHUNK if chunked else None,
+        step_token_budget=STEP_TOKEN_BUDGET if chunked else None)
+
+
+def _run_mixed_workload(model, chunked: bool):
+    """Serve the mixed workload once; return a dict of measurements."""
+    server = InferenceServer(model, _policy(chunked))
+    start = time.perf_counter()
+    shorts = [server.submit(GenerateRequest(
+        prompt=f"viewer {i} bitrate:", max_new_tokens=SHORT_TOKENS,
+        stop_on_eos=False)) for i in range(NUM_SHORT)]
+    for _ in range(WARMUP_STEPS):
+        server.step()
+    # The long prompt lands while every short session is mid-decode.
+    long_handle = server.submit(GenerateRequest(
+        prompt="h" * (LONG_PROMPT_TOKENS - 1),  # BOS brings it to 512 tokens
+        max_new_tokens=LONG_NEW_TOKENS, stop_on_eos=False))
+    server.run_until_idle()
+    wall = time.perf_counter() - start
+
+    tokens = sum(len(h.result().token_ids) for h in shorts)
+    tokens += len(long_handle.result().token_ids)
+    itl = [gap for h in shorts for gap in h.metrics.inter_token_seconds]
+    assert len(itl) == NUM_SHORT * (SHORT_TOKENS - 1)
+    stats = server.stats()
+    return {
+        "itl_p50_s": percentile(itl, 50),
+        "itl_p95_s": percentile(itl, 95),
+        "long_ttft_s": long_handle.metrics.ttft_s,
+        "short_ttft_p95_s": percentile(
+            [h.metrics.ttft_s for h in shorts], 95),
+        "tokens_per_s": tokens / wall,
+        "wall_s": wall,
+        "server_stats": stats.report(),
+    }
+
+
+def test_perf_serving_latency_chunked_prefill():
+    model = LanguageModel(CONFIG, seed=0)
+    _run_mixed_workload(model, chunked=True)  # warm numpy/BLAS + caches
+
+    best = {}
+    best_tput = {}
+    for chunked in (False, True):
+        key = "chunked" if chunked else "one_shot"
+        runs = [_run_mixed_workload(model, chunked) for _ in range(REPETITIONS)]
+        # Best-of per mode (robust to GC/CI load spikes): the run with the
+        # lowest ITL p95 — the metric under test — represents the mode and is
+        # persisted untouched (internally consistent); the throughput gate
+        # uses each mode's best tokens/s across repetitions, kept separate.
+        best[key] = min(runs, key=lambda r: r["itl_p95_s"])
+        best_tput[key] = max(r["tokens_per_s"] for r in runs)
+
+    itl_ratio = best["chunked"]["itl_p95_s"] / best["one_shot"]["itl_p95_s"]
+    tput_ratio = best_tput["chunked"] / best_tput["one_shot"]
+    rows = [{
+        "mode": key,
+        "itl_p50_ms": best[key]["itl_p50_s"] * 1e3,
+        "itl_p95_ms": best[key]["itl_p95_s"] * 1e3,
+        "long_ttft_ms": best[key]["long_ttft_s"] * 1e3,
+        "tokens_per_s": best_tput[key],
+    } for key in ("one_shot", "chunked")]
+    print_table(
+        f"Mixed workload ({NUM_SHORT} decodes + one {LONG_PROMPT_TOKENS}-token "
+        f"prompt mid-stream)", rows)
+    print(f"Chunked prefill ITL p95: {itl_ratio:.2f}x one-shot "
+          f"(gate <= 0.5); throughput {tput_ratio:.2f}x (gate >= 0.9).")
+
+    save_results("perf_serving_latency", {
+        "model": CONFIG.name,
+        "num_short": NUM_SHORT,
+        "short_tokens": SHORT_TOKENS,
+        "long_prompt_tokens": LONG_PROMPT_TOKENS,
+        "prefill_chunk_size": PREFILL_CHUNK,
+        "step_token_budget": STEP_TOKEN_BUDGET,
+        "one_shot": best["one_shot"],
+        "chunked": best["chunked"],
+        "one_shot_best_tokens_per_s": best_tput["one_shot"],
+        "chunked_best_tokens_per_s": best_tput["chunked"],
+        "itl_p95_ratio": itl_ratio,
+        "throughput_ratio": tput_ratio,
+    })
+
+    assert itl_ratio <= 0.5, (
+        f"chunked prefill only cuts in-flight ITL p95 to {itl_ratio:.2f}x "
+        f"the one-shot baseline (gate 0.5x)")
+    assert tput_ratio >= 0.9, (
+        f"chunked prefill drops aggregate throughput to {tput_ratio:.2f}x "
+        f"one-shot (gate 0.9x)")

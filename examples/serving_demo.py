@@ -19,7 +19,11 @@ plus the typed request lifecycle the engine exposes:
 * a request that gets **cancelled** mid-flight (its KV blocks return to the
   pool immediately) and one submitted with a too-tight **deadline**,
 * a **custom task runtime** registered at runtime (``register_task``) —
-  a novel decision task served without touching the engine.
+  a novel decision task served without touching the engine,
+* a **long prompt** admitted via **chunked prefill**
+  (``SchedulerPolicy.prefill_chunk_size`` / ``step_token_budget``): short
+  requests submitted *behind* it stream their first tokens while the long
+  prompt is still prefilling chunk by chunk — no head-of-line stall.
 
 At the end the engine's stats report shows batch occupancy, queue depth,
 per-priority tail latency and the cancelled/expired counts across the load.
@@ -102,8 +106,14 @@ def main() -> None:
     # One engine serves everything: generation sessions plus the three task
     # adapters.  The generation model is the VP adaptation's backbone (any of
     # the three would do — they share the same frozen foundation model).
+    # Chunked prefill: long prompts are admitted <=16 tokens per engine step
+    # within a 24-token step budget, so decode traffic never stalls behind
+    # one big prefill.
     server = build_inference_server(model=vp.llm, vp=vp, abr=abr, cjs=cjs,
-                                    policy=SchedulerPolicy(max_batch_size=8))
+                                    policy=SchedulerPolicy(
+                                        max_batch_size=8,
+                                        prefill_chunk_size=16,
+                                        step_token_budget=24))
 
     server.register_task("wordcount", WordCountRuntime())
 
@@ -158,6 +168,16 @@ def main() -> None:
         doomed.cancel()
         for thread in threads:
             thread.join()
+        # Chunked prefill in action: the long prompt is submitted FIRST, the
+        # quick requests right behind it — yet their first tokens arrive
+        # while the long prompt is still prefilling in 16-token chunks.
+        long_prompt = ("chunked prefill sizing study: "
+                       + "telemetry 1.23 4.56 7.89; " * 5)
+        long_handle = server.submit(GenerateRequest(
+            prompt=long_prompt, max_new_tokens=12, stop_on_eos=False))
+        quick_handles = [server.submit(GenerateRequest(
+            prompt=f"quick reply {i}:", max_new_tokens=6, stop_on_eos=False))
+            for i in range(3)]
         generations = [handle.result(timeout=120) for handle in generation_handles]
         try:
             hopeless.result(timeout=120)
@@ -170,9 +190,15 @@ def main() -> None:
         except RequestCancelled:
             cancel_outcome = "cancelled, blocks reclaimed"
         counts = [handle.result(timeout=120) for handle in wordcounts]
+        long_result = long_handle.result(timeout=120)
+        for handle in quick_handles:
+            handle.result(timeout=120)
     wall = time.time() - start
 
     assert "".join(streamed_pieces) == streaming.result().text  # exact stream
+    long_ttft = long_handle.metrics.ttft_s
+    quick_ttfts = [handle.metrics.ttft_s for handle in quick_handles]
+    overtook = sum(ttft < long_ttft for ttft in quick_ttfts)
 
     print(f"Served the mixed workload in {wall:.1f}s")
     print(f"  VP predictions answered: {outcomes['vp']}")
@@ -184,6 +210,10 @@ def main() -> None:
     print(f"  Cancelled request:       {cancel_outcome}")
     print(f"  Deadline expired:        {expiry}")
     print(f"  wordcount task answers:  {counts}")
+    print(f"  Chunked prefill:         {len(long_prompt)}-char prompt "
+          f"(ttft {long_ttft * 1e3:.0f} ms, {len(long_result.token_ids)} "
+          f"tokens); {overtook}/{len(quick_handles)} later quick requests "
+          f"got their first token while it was still prefilling")
 
     stats = server.stats()
     print("\nEngine stats:")

@@ -251,10 +251,9 @@ class MultiHeadAttention(Module):
 
         gathered_keys, gathered_values = layer_cache.gather(step.tables)
         scores = (q @ np.swapaxes(gathered_keys, -1, -2)) * (1.0 / float(np.sqrt(self.head_dim)))
-        totals = step.totals
-        if int(totals.min()) != step.gathered_len:  # mask block padding + ragged rows
-            padded = _position_range(step.gathered_len)[None, :] >= totals[:, None]
-            scores = np.where(padded[:, None, None, :], -np.inf, scores)
+        if step.needs_mask:  # mask block padding + ragged rows; the boolean
+            # mask is computed once per step and shared by every layer.
+            np.copyto(scores, -np.inf, where=step.padding_mask[:, None, None, :])
         shifted = scores - scores.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         weights = exp / exp.sum(axis=-1, keepdims=True)

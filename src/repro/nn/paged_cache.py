@@ -23,6 +23,20 @@ axis (``keys[tables]``), which pads every row to a whole number of blocks;
 the padded tail is masked with ``-inf`` exactly like ragged batches were in
 the slot-packed design, keeping per-session logits identical to a
 single-session :class:`KVCache` decode.
+
+Sessions need not be admitted fully prefilled: :meth:`PagedKVCache.admit_rows`
+accepts a partial prompt (``lengths`` shorter than the prefilled history) and
+:meth:`PagedKVCache.extend_session` scatters each further **prefill chunk**
+into the session's blocks, growing its table incrementally — the substrate
+for chunked prefill interleaved with decode steps.
+
+The decode hot path caches its gather plan: per-session block-table rows are
+versioned, the padded ``tables`` matrix is reused across steps and only rows
+whose table actually changed are rewritten (``table_rebuilds`` /
+``table_row_updates`` count the cache behaviour), and the per-step
+offset/total/position arrays live in preallocated buffers so a steady-state
+decode step performs no per-session Python table walk and no temporary
+allocations beyond the attention math itself.
 """
 
 from __future__ import annotations
@@ -32,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .attention import KVCache
+from .attention import KVCache, _position_range
 
 #: Default tokens per block — small enough that short sessions waste little,
 #: large enough that block tables and gathers stay cheap.
@@ -208,27 +222,76 @@ class PagedStepContext:
 
     Built by :meth:`PagedKVCache.prepare_step` (which also performs any block
     allocation and copy-on-write the step needs) and consumed by every
-    attention layer, so the per-step table padding happens once, not per layer.
+    attention layer, so the per-step table padding — and the ragged/padding
+    attention mask, via :attr:`padding_mask` — happens once, not per layer.
+
+    The arrays may alias the cache's internal step buffers: a context is only
+    valid until the next ``prepare_step`` call on the same cache.
     """
 
     __slots__ = ("session_ids", "tables", "write_blocks", "write_offsets",
-                 "totals", "gathered_len")
+                 "totals", "positions", "gathered_len", "needs_mask", "_mask")
 
     def __init__(self, session_ids: np.ndarray, tables: np.ndarray,
                  write_blocks: np.ndarray, write_offsets: np.ndarray,
-                 totals: np.ndarray, block_size: int) -> None:
+                 totals: np.ndarray, positions: np.ndarray,
+                 block_size: int) -> None:
         self.session_ids = session_ids
         self.tables = tables                #: (n, max_blocks) padded block ids
         self.write_blocks = write_blocks    #: (n,) block receiving the new token
         self.write_offsets = write_offsets  #: (n,) offset within that block
         self.totals = totals                #: (n,) history length incl. new token
+        #: Global position of each session's new token (its previous length).
+        self.positions = positions
         #: Length of the gathered (block-padded) attention window.
         self.gathered_len = int(tables.shape[1]) * block_size
+        #: Whether any gathered position lies past a session's history (block
+        #: padding or a shorter neighbour) — when False every layer can skip
+        #: masking entirely.
+        self.needs_mask = int(totals.min()) != self.gathered_len
+        self._mask: Optional[np.ndarray] = None
 
     @property
-    def positions(self) -> np.ndarray:
-        """Global position of each session's new token (its previous length)."""
-        return self.totals - 1
+    def padding_mask(self) -> np.ndarray:
+        """Boolean ``(n, gathered_len)`` mask of padded/ragged positions.
+
+        Identical for every attention layer of the step, so it is computed
+        once here instead of once per layer.
+        """
+        if self._mask is None:
+            self._mask = (_position_range(self.gathered_len)[None, :]
+                          >= self.totals[:, None])
+        return self._mask
+
+
+class _StepPlan:
+    """Cached gather plan for a fixed batch of session ids.
+
+    Valid while the batch composition is unchanged; individual rows are
+    refreshed when their session's block table changes (tracked by per-session
+    versions), so a steady-state decode never rebuilds the padded table
+    matrix.  ``lengths`` mirrors the cache's per-session lengths for the
+    batch and is advanced in bulk by :meth:`PagedKVCache.commit_step`.
+    """
+
+    __slots__ = ("ids_key", "session_ids", "tables", "lengths", "tail_blocks",
+                 "versions", "epoch", "offsets_buf", "totals_buf",
+                 "positions_buf")
+
+    def __init__(self, session_ids: np.ndarray, tables: np.ndarray,
+                 lengths: np.ndarray, tail_blocks: np.ndarray,
+                 versions: np.ndarray, epoch: int) -> None:
+        self.ids_key = session_ids.tobytes()
+        self.session_ids = session_ids
+        self.tables = tables
+        self.lengths = lengths
+        self.tail_blocks = tail_blocks
+        self.versions = versions
+        self.epoch = epoch
+        n = len(session_ids)
+        self.offsets_buf = np.empty(n, dtype=np.int64)
+        self.totals_buf = np.empty(n, dtype=np.int64)
+        self.positions_buf = np.empty(n, dtype=np.int64)
 
 
 class PagedKVCache:
@@ -258,6 +321,21 @@ class PagedKVCache:
         self._tables: Dict[int, List[int]] = {}
         self._lengths: Dict[int, int] = {}
         self._ids = itertools.count()
+        # Step-plan cache: per-session table versions plus a global mutation
+        # epoch.  A decode step whose batch and epoch both match the cached
+        # plan reuses the padded gather tables untouched; a bumped epoch only
+        # rewrites the rows whose version changed.
+        self._versions: Dict[int, int] = {}
+        self._epoch = 0
+        self._plan: Optional[_StepPlan] = None
+        #: Full rebuilds of the padded gather-table matrix (batch changed).
+        self.table_rebuilds = 0
+        #: Single-row refreshes of the cached matrix (one table changed).
+        self.table_row_updates = 0
+
+    def _mutated(self) -> None:
+        """Note a table/pool mutation so cached step plans revalidate."""
+        self._epoch += 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -281,7 +359,10 @@ class PagedKVCache:
         return self.allocator.blocks_free
 
     def length(self, session_id: int) -> int:
-        return self._lengths[session_id]
+        try:
+            return self._lengths[session_id]
+        except KeyError:
+            raise ValueError(f"session {session_id} is not live") from None
 
     def table(self, session_id: int) -> Tuple[int, ...]:
         return tuple(self._tables[session_id])
@@ -406,9 +487,76 @@ class PagedKVCache:
             session_id = next(self._ids)
             self._tables[session_id] = shared + fresh[offset:offset + count]
             self._lengths[session_id] = length
+            self._versions[session_id] = 0
             session_ids.append(session_id)
             offset += count
+        self._mutated()
         return session_ids
+
+    def extend_session(self, session_id: int, cache: KVCache, row: int = 0,
+                       new_length: Optional[int] = None) -> None:
+        """Scatter the next prefill chunk of a partially admitted session.
+
+        ``cache`` is the session's resumable single-session prefill cache: it
+        holds the full history computed so far (shared prefix head included),
+        of which tokens ``[length(session_id), new_length)`` are new and get
+        laid out into the session's blocks — filling the partially used tail
+        block first, then appending fresh blocks.  ``new_length`` defaults to
+        the cache's full length.  A shared tail block (a forked sibling) is
+        copy-on-write split before the chunk lands in it, exactly as
+        :meth:`prepare_step` does for decode writes.
+        """
+        if session_id not in self._tables:
+            raise ValueError(f"session {session_id} is not live")
+        if cache.num_layers != self.num_layers:
+            raise ValueError(
+                f"session cache has {cache.num_layers} layers but the paged "
+                f"cache has {self.num_layers}")
+        old = self._lengths[session_id]
+        full = cache.seq_len
+        new_length = full if new_length is None else new_length
+        if not old < new_length <= full:
+            raise ValueError(
+                f"cannot extend session {session_id} from {old} to "
+                f"{new_length} tokens (prefilled history holds {full})")
+        template = cache.layers[0].keys
+        if not 0 <= row < template.shape[0]:
+            raise ValueError(f"row {row} outside prefilled batch of "
+                             f"{template.shape[0]}")
+        block_size = self.block_size
+        table = self._tables[session_id]
+        tail_offset = old % block_size
+        needs_cow = tail_offset and self.allocator.refcounts[table[-1]] > 1
+        grow = self.blocks_needed(new_length) - len(table)
+        fresh = self._allocate_many(grow + (1 if needs_cow else 0))
+        self._ensure_storage(template.shape[1], template.shape[3],
+                             template.dtype)
+        if needs_cow:
+            replacement = fresh.pop(0)
+            for layer in self.layers:
+                layer.copy_block(table[-1], replacement)
+            # Unlike prepare_step's batched CoW, no sibling can drop the last
+            # reference within this single-session call: the block stays live
+            # for its other holder(s), never freed here.
+            self.allocator.release(table[-1])
+            table[-1] = replacement
+        table.extend(fresh)
+        start_block = old // block_size
+        for source, layer in zip(cache.layers, self.layers):
+            for source_array, storage in ((source.keys, layer._keys),
+                                          (source.values, layer._values)):
+                history = source_array[row]
+                position, index = old, start_block
+                while position < new_length:
+                    offset = position % block_size
+                    took = min(block_size - offset, new_length - position)
+                    storage[table[index], :, offset:offset + took] = \
+                        history[:, position:position + took]
+                    position += took
+                    index += 1
+        self._lengths[session_id] = new_length
+        self._versions[session_id] += 1
+        self._mutated()
 
     def register_blocks(self, keys_per_layer: Sequence[np.ndarray],
                         values_per_layer: Sequence[np.ndarray]) -> List[int]:
@@ -435,6 +583,7 @@ class PagedKVCache:
                          self.block_size, template.shape[2], template.dtype)
         for layer, keys, values in zip(self.layers, keys_per_layer, values_per_layer):
             layer.write_blocks(blocks, keys, values)
+        self._mutated()
         return blocks
 
     def release_blocks(self, block_ids: Sequence[int]) -> None:
@@ -443,6 +592,7 @@ class PagedKVCache:
             if self.allocator.release(block):
                 for layer in self.layers:
                     layer.clear_block(block)
+        self._mutated()
 
     def fork(self, session_id: int) -> int:
         """Clone a session by sharing its blocks (copy-on-write protected)."""
@@ -452,6 +602,8 @@ class PagedKVCache:
         clone = next(self._ids)
         self._tables[clone] = list(table)
         self._lengths[clone] = self._lengths[session_id]
+        self._versions[clone] = 0
+        self._mutated()
         return clone
 
     def evict(self, session_id: int) -> None:
@@ -463,8 +615,50 @@ class PagedKVCache:
                 for layer in self.layers:
                     layer.clear_block(block)
         del self._lengths[session_id]
+        del self._versions[session_id]
+        self._mutated()
 
     # ------------------------------------------------------------------ #
+    def _build_plan(self, session_ids: np.ndarray) -> _StepPlan:
+        """Construct the padded gather plan for a (new) batch of sessions."""
+        n = len(session_ids)
+        rows: List[List[int]] = []
+        for sid in session_ids:
+            table = self._tables.get(int(sid))
+            if table is None:
+                raise ValueError(f"session {int(sid)} is not live")
+            rows.append(table)
+        width = max(len(row) for row in rows)
+        tables = np.zeros((n, width), dtype=np.int64)
+        lengths = np.empty(n, dtype=np.int64)
+        tail_blocks = np.empty(n, dtype=np.int64)
+        versions = np.empty(n, dtype=np.int64)
+        for i, (sid, row) in enumerate(zip(session_ids, rows)):
+            tables[i, :len(row)] = row
+            lengths[i] = self._lengths[int(sid)]
+            tail_blocks[i] = row[-1]
+            versions[i] = self._versions[int(sid)]
+        self.table_rebuilds += 1
+        return _StepPlan(session_ids, tables, lengths, tail_blocks, versions,
+                         self._epoch)
+
+    def _refresh_plan_row(self, plan: _StepPlan, i: int, sid: int) -> None:
+        """Rewrite one cached row after its session's table changed."""
+        table = self._tables[sid]
+        if len(table) > plan.tables.shape[1]:
+            # Widen to exactly the new longest table: the matrix copy is a few
+            # hundred int64s, while every extra column would cost a full extra
+            # block of gathered K/V per row on every subsequent step.
+            wider = np.zeros((plan.tables.shape[0], len(table)), dtype=np.int64)
+            wider[:, :plan.tables.shape[1]] = plan.tables
+            plan.tables = wider
+        plan.tables[i, :len(table)] = table
+        plan.tables[i, len(table):] = 0
+        plan.tail_blocks[i] = table[-1]
+        plan.lengths[i] = self._lengths[sid]
+        plan.versions[i] = self._versions[sid]
+        self.table_row_updates += 1
+
     def prepare_step(self, session_ids: np.ndarray) -> PagedStepContext:
         """Build the step plan for one new token on each listed session.
 
@@ -473,59 +667,76 @@ class PagedKVCache:
         (copy-on-write) so the write below cannot leak into a sibling.
         Allocation is all-or-nothing: on pool exhaustion no table is touched,
         so the caller can evict a session and retry the step safely.
+
+        The padded gather tables are cached between steps: an unchanged batch
+        reuses the previous matrix outright, and only rows whose block table
+        actually changed since the last step are rewritten (see
+        ``table_rebuilds`` / ``table_row_updates``).
         """
         session_ids = np.asarray(session_ids, dtype=np.int64)
         n = len(session_ids)
         if n == 0:
             raise ValueError("prepare_step called with no active sessions")
         block_size = self.block_size
-        write_blocks = np.empty(n, dtype=np.int64)
-        write_offsets = np.empty(n, dtype=np.int64)
-        totals = np.empty(n, dtype=np.int64)
-        # Plan first: which sessions need a fresh block (boundary append or
-        # copy-on-write split of a shared tail)?
-        needs_fresh: List[int] = []
-        for i, sid in enumerate(session_ids):
-            sid = int(sid)
-            if sid not in self._tables:
-                raise ValueError(f"session {sid} is not live")
-            offset = self._lengths[sid] % block_size
-            if offset == 0 or self.allocator.refcounts[self._tables[sid][-1]] > 1:
-                needs_fresh.append(i)
-        fresh = self._allocate_many(len(needs_fresh))  # atomic: rolls back on exhaustion
-        self._ensure_storage(*self._template_dims())
-        fresh_by_index = dict(zip(needs_fresh, fresh))
-        for i, sid in enumerate(session_ids):
-            sid = int(sid)
-            table = self._tables[sid]
-            position = self._lengths[sid]
-            offset = position % block_size
-            if offset == 0:
-                table.append(fresh_by_index[i])
-            elif i in fresh_by_index:
-                # Copy-on-write: the partially filled tail block is shared
-                # (forked session / partial prefix); give this session its
-                # own copy before the new token lands in it.
-                replacement = fresh_by_index[i]
-                for layer in self.layers:
-                    layer.copy_block(table[-1], replacement)
-                if self.allocator.release(table[-1]):
-                    # Last reference died during the split (e.g. the sibling
-                    # already copy-on-wrote its own tail this same step):
-                    # keep the freed-blocks-are-zeroed invariant.
+        plan = self._plan
+        if plan is None or plan.ids_key != session_ids.tobytes():
+            plan = self._build_plan(session_ids)
+            self._plan = plan
+        elif plan.epoch != self._epoch:
+            # Same batch, but tables mutated since the plan was built (block
+            # appended, chunk admitted, fork/CoW, eviction elsewhere): refresh
+            # only the rows whose per-session version moved.
+            for i, sid in enumerate(session_ids):
+                sid = int(sid)
+                version = self._versions.get(sid)
+                if version is None:
+                    raise ValueError(f"session {sid} is not live")
+                if version != plan.versions[i]:
+                    self._refresh_plan_row(plan, i, sid)
+            plan.epoch = self._epoch
+
+        # Which rows need a fresh block this step: boundary append, or
+        # copy-on-write split of a shared tail (vectorized over the batch).
+        offsets = np.mod(plan.lengths, block_size, out=plan.offsets_buf)
+        boundary = offsets == 0
+        shared_tail = self.allocator.refcounts[plan.tail_blocks] > 1
+        fresh_rows = np.flatnonzero(boundary | (shared_tail & ~boundary))
+        if fresh_rows.size:
+            fresh = self._allocate_many(len(fresh_rows))  # atomic on exhaustion
+            self._ensure_storage(*self._template_dims())
+            for block, i in zip(fresh, fresh_rows):
+                i = int(i)
+                sid = int(session_ids[i])
+                table = self._tables[sid]
+                if boundary[i]:
+                    table.append(block)
+                    if len(table) > plan.tables.shape[1]:
+                        self._refresh_plan_row(plan, i, sid)
+                    else:
+                        plan.tables[i, len(table) - 1] = block
+                else:
+                    # Copy-on-write: the partially filled tail block is shared
+                    # (forked session / partial prefix); give this session its
+                    # own copy before the new token lands in it.
                     for layer in self.layers:
-                        layer.clear_block(table[-1])
-                table[-1] = replacement
-            write_blocks[i] = table[-1]
-            write_offsets[i] = offset
-            totals[i] = position + 1
-        max_blocks = max(len(self._tables[int(sid)]) for sid in session_ids)
-        tables = np.zeros((n, max_blocks), dtype=np.int64)
-        for i, sid in enumerate(session_ids):
-            row = self._tables[int(sid)]
-            tables[i, :len(row)] = row
-        return PagedStepContext(session_ids, tables, write_blocks,
-                                write_offsets, totals, block_size)
+                        layer.copy_block(table[-1], block)
+                    if self.allocator.release(table[-1]):
+                        # Last reference died during the split (e.g. the
+                        # sibling already copy-on-wrote its own tail this same
+                        # step): keep the freed-blocks-are-zeroed invariant.
+                        for layer in self.layers:
+                            layer.clear_block(table[-1])
+                    table[-1] = block
+                    plan.tables[i, len(table) - 1] = block
+                plan.tail_blocks[i] = block
+                self._versions[sid] += 1
+                plan.versions[i] = self._versions[sid]
+            self._mutated()
+            plan.epoch = self._epoch
+        totals = np.add(plan.lengths, 1, out=plan.totals_buf)
+        np.copyto(plan.positions_buf, plan.lengths)
+        return PagedStepContext(session_ids, plan.tables, plan.tail_blocks,
+                                offsets, totals, plan.positions_buf, block_size)
 
     def _template_dims(self) -> Tuple[int, int, np.dtype]:
         template = self.layers[0]._keys
@@ -537,6 +748,13 @@ class PagedKVCache:
         """Advance the per-session lengths after every layer has written."""
         for sid in session_ids:
             self._lengths[int(sid)] += 1
+        plan = self._plan
+        if plan is not None:
+            if plan.ids_key == np.asarray(session_ids,
+                                          dtype=np.int64).tobytes():
+                plan.lengths += 1  # keep the cached batch lengths in lockstep
+            else:
+                self._plan = None  # committed a different batch: drop the plan
 
     # ------------------------------------------------------------------ #
     def check_invariants(self, external_refs: Optional[Dict[int, int]] = None) -> None:
@@ -580,3 +798,21 @@ class PagedKVCache:
         single = np.flatnonzero(alloc.refcounts == 1)
         owners = table_refs[single]
         assert np.all(owners == 1), "exclusively owned block with wrong ref tally"
+        assert set(self._versions) == set(self._tables), (
+            "table-version bookkeeping out of sync with live sessions")
+        # A cached step plan that claims to be current must actually mirror
+        # the live tables and lengths of its batch.
+        plan = self._plan
+        if plan is not None and plan.epoch == self._epoch:
+            for i, sid in enumerate(plan.session_ids):
+                sid = int(sid)
+                if sid not in self._tables:
+                    continue  # stale ids force a rebuild on the next step
+                if plan.versions[i] != self._versions[sid]:
+                    continue  # row pending refresh (epoch check already bumped)
+                table = self._tables[sid]
+                assert list(plan.tables[i, :len(table)]) == table, (
+                    f"cached gather row for session {sid} diverged from its "
+                    f"block table")
+                assert plan.lengths[i] == self._lengths[sid], (
+                    f"cached length for session {sid} diverged")

@@ -6,7 +6,11 @@ One engine serves two kinds of traffic through a single shared model:
   streaming autoregressive requests decoded with continuous batching over the
   paged KV cache — new sessions are admitted into the in-flight batch
   whenever slots free up, so one ``forward_step`` advances every running
-  session at once.
+  session at once.  With ``SchedulerPolicy.prefill_chunk_size`` set, each
+  step runs the unified token-budget scheduler: decode rows spend the step's
+  ``step_token_budget`` first and long prompts are prefilled in chunks with
+  the remainder, so a long arrival never stalls in-flight decode (its first
+  token streams the moment its final chunk commits).
 * **Decision requests** (:class:`~repro.serve.requests.DecisionRequest`):
   per-step adapter inferences answered by pluggable
   :class:`~repro.serve.runtimes.TaskRuntime` registrations (built-ins:
@@ -63,6 +67,7 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .session import (
     FAILED,
     FINISHED,
+    PREFILLING,
     QUEUED,
     REASON_CANCELLED,
     REASON_DEADLINE,
@@ -435,7 +440,7 @@ class InferenceServer:
                 if session.state == QUEUED:
                     self._scheduler.remove(session)
                     self._queued_generation.pop(handle.request_id, None)
-                elif session.state == RUNNING:
+                elif session.state in (PREFILLING, RUNNING):
                     self._manager.evict(session, reason=REASON_CANCELLED)
                 self._pending_generation.pop(session.session_id, None)
                 session.state = FAILED
@@ -473,11 +478,13 @@ class InferenceServer:
         return bool(expired)
 
     def _reap_expired_running(self) -> bool:
-        """Evict running sessions whose deadline passed between decode steps."""
+        """Evict running/prefilling sessions whose deadline passed mid-step."""
         if self._manager is None:
             return False
         now = time.perf_counter()
-        expired = [s for s in self._manager.running.values() if s.is_expired(now)]
+        expired = [s for s in list(self._manager.running.values())
+                   + list(self._manager.prefilling.values())
+                   if s.is_expired(now)]
         for session in expired:
             self._manager.evict(session, reason=REASON_DEADLINE)
             session.state = FAILED
@@ -516,7 +523,8 @@ class InferenceServer:
 
     def has_pending_work(self) -> bool:
         with self._lock:
-            running = self._manager.num_running if self._manager else 0
+            running = (self._manager.num_running + self._manager.num_prefilling
+                       if self._manager else 0)
             pending = sum(len(v) for v in self._pending_decisions.values())
             return bool(running or pending or self._scheduler.queue_depth)
 
@@ -609,7 +617,8 @@ class InferenceServer:
         with self._lock:
             self._fail_queued(error)
             if self._manager is not None:
-                for session in list(self._manager.running.values()):
+                for session in (list(self._manager.running.values())
+                                + list(self._manager.prefilling.values())):
                     self._manager.evict(session, reason="failed")
                     session.state = FAILED
                     self._finish_generation(session, error=error)
@@ -655,8 +664,20 @@ class InferenceServer:
     # Step phases (called with the lock held)
     # ------------------------------------------------------------------ #
     def _admit_queued(self) -> bool:
+        """Admission/prefill phase of one engine step.
+
+        With ``prefill_chunk_size`` unset this is the classic one-shot path:
+        queued sessions are admitted into freed slots and fully prefilled in
+        ragged bands.  With it set, the phase runs the unified token-budget
+        scheduler: in-flight prefills resume one chunk each, then new
+        sessions are admitted while slots and the step's token budget last
+        (decode rows were already charged one token each against
+        ``step_token_budget``).
+        """
         if self._manager is None:
             return False
+        if self.policy.prefill_chunk_size is not None:
+            return self._budgeted_prefill_phase()
         admitted = self._scheduler.admissions(self._manager.num_free)
         if not admitted:
             return False
@@ -681,6 +702,49 @@ class InferenceServer:
             if session.state == FINISHED:  # e.g. EOS sampled from prefill
                 self._finish_generation(session)
         return True
+
+    def _budgeted_prefill_phase(self) -> bool:
+        """Chunked prefill under the step token budget (see SchedulerPolicy)."""
+        manager = self._manager
+        chunk = self.policy.prefill_chunk_size
+        budget = self._scheduler.prefill_budget(manager.num_running)
+        cap = manager.num_free
+        if budget is not None:
+            # In-flight prefills draw from the budget first — reserve the
+            # worst case for each (a full chunk plus the same-step decode row
+            # of a completion) — and earlier admissions in the wave may draw
+            # that much before later ones.  Size the wave so even then every
+            # admitted session gets at least one token this step: a session
+            # admitted with zero progress would leave the priority queue only
+            # to hoard a batch slot in FIFO prefill order.
+            draw = chunk + 1  # worst per-session budget draw (chunk + decode)
+            remaining = budget - draw * manager.num_prefilling
+            # The last admission may need 2 tokens (a one-token tail costs
+            # prefill + its same-step decode row), hence the -2.
+            cap = 0 if remaining < 2 else min(cap, (remaining - 2) // draw + 1)
+        admitted = self._scheduler.admissions(cap) if cap > 0 else []
+        for session in admitted:
+            handle = self._queued_generation.pop(session.session_id, None)
+            if handle is not None:
+                self._pending_generation[session.session_id] = handle
+        if not admitted and not manager.num_prefilling:
+            return False
+        spent, terminal, failures, deferred = manager.prefill_step(
+            admitted, self.policy.prefill_chunk_size, budget)
+        for session in terminal:
+            self._finish_generation(session)
+        for session, error in failures:
+            self._finish_generation(session, error=error)
+        # Budget ran dry before these admissions' first token: put them back
+        # at the head of the priority queue with their original wait intact,
+        # so aging and FIFO ordering continue as if they had never left.
+        # Reversed so the earliest-admitted deferral keeps the earliest seq.
+        for session in reversed(deferred):
+            handle = self._pending_generation.pop(session.session_id, None)
+            self._scheduler.requeue_front(session)
+            if handle is not None:
+                self._queued_generation[session.session_id] = handle
+        return bool(admitted or spent or terminal or failures)
 
     def _decode_step(self) -> bool:
         if self._manager is None or self._manager.num_running == 0:

@@ -76,10 +76,31 @@ class RequestMetrics:
         return self.finished_at - self.submitted_at
 
     @property
-    def time_to_first_token(self) -> float:
+    def ttft_s(self) -> float:
+        """Time to first token: submission until the first token committed.
+
+        Covers queueing *and* prefill — with chunked prefill a long prompt's
+        TTFT spans every chunk, which is exactly the head-latency the
+        serving benchmarks gate.  0.0 while no token has been produced.
+        """
         if self.first_token_at is None:
             return 0.0
         return self.first_token_at - self.submitted_at
+
+    @property
+    def time_to_first_token(self) -> float:
+        """Pre-PR-5 name for :attr:`ttft_s` (kept for compatibility)."""
+        return self.ttft_s
+
+    @property
+    def inter_token_seconds(self) -> List[float]:
+        """Wall-clock gap before each token after the first (ITL samples).
+
+        ``token_seconds[0]`` is the prefill-to-first-token time (part of
+        TTFT, not ITL); every later entry is the gap since the previous
+        committed token — the per-request inter-token latency distribution.
+        """
+        return self.token_seconds[1:]
 
     @property
     def mean_batch_size(self) -> float:
@@ -100,6 +121,14 @@ class ServerStats:
     latency_p95_s: float
     queue_p50_s: float
     queue_p95_s: float
+    #: Time-to-first-token percentiles over completed generation requests
+    #: that produced at least one token (queue wait + prefill included).
+    ttft_p50_s: float
+    ttft_p95_s: float
+    #: Inter-token latency percentiles over every decode gap of every
+    #: completed request (the tail the chunked-prefill scheduler bounds).
+    itl_p50_s: float
+    itl_p95_s: float
     mean_batch_occupancy: float
     max_queue_depth: int
     per_task: Dict[str, int]
@@ -139,6 +168,8 @@ class ServerStats:
         tokens = sum(r.tokens_generated for r in finished)
         latencies = [r.total_seconds for r in finished]
         queues = [r.queue_seconds for r in finished]
+        ttfts = [r.ttft_s for r in finished if r.first_token_at is not None]
+        itls = [gap for r in finished for gap in r.inter_token_seconds]
         per_task: Dict[str, int] = {}
         for request in finished:
             per_task[request.task] = per_task.get(request.task, 0) + 1
@@ -160,6 +191,10 @@ class ServerStats:
             latency_p95_s=percentile(latencies, 95) if latencies else 0.0,
             queue_p50_s=percentile(queues, 50) if queues else 0.0,
             queue_p95_s=percentile(queues, 95) if queues else 0.0,
+            ttft_p50_s=percentile(ttfts, 50) if ttfts else 0.0,
+            ttft_p95_s=percentile(ttfts, 95) if ttfts else 0.0,
+            itl_p50_s=percentile(itls, 50) if itls else 0.0,
+            itl_p95_s=percentile(itls, 95) if itls else 0.0,
             mean_batch_occupancy=(sum(occupancy_samples) / len(occupancy_samples)
                                   if occupancy_samples else 0.0),
             max_queue_depth=max(queue_depth_samples) if queue_depth_samples else 0,
@@ -187,6 +222,10 @@ class ServerStats:
             "latency_p95_s": self.latency_p95_s,
             "queue_p50_s": self.queue_p50_s,
             "queue_p95_s": self.queue_p95_s,
+            "ttft_p50_s": self.ttft_p50_s,
+            "ttft_p95_s": self.ttft_p95_s,
+            "itl_p50_s": self.itl_p50_s,
+            "itl_p95_s": self.itl_p95_s,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_queue_depth": self.max_queue_depth,
             "per_task": dict(self.per_task),

@@ -152,6 +152,16 @@ class PrefixCache:
         return entry
 
     # ------------------------------------------------------------------ #
+    def is_live(self, entry: PrefixEntry) -> bool:
+        """Whether this exact entry is still registered (not LRU-evicted).
+
+        A chunked-prefill session holds its matched entry across engine
+        steps; before the first chunk seeds from the entry's pool blocks it
+        must confirm the entry survived any intervening ``register`` — an
+        evicted entry's blocks may already belong to a newer head.
+        """
+        return self._entries.get(entry.token_ids) is entry
+
     def match(self, prompt_ids: Sequence[int]) -> Optional[PrefixEntry]:
         """Longest cached head that is a *strict* prefix of ``prompt_ids``.
 

@@ -46,6 +46,32 @@ class SchedulerPolicy:
     for benchmarking).  ``enable_prefix_cache`` turns shared prompt-head
     caching on; ``max_prefixes`` bounds how many heads stay resident (LRU
     beyond that).
+
+    **Chunked prefill / token-budget stepping** (Sarathi-style stall-free
+    batching):
+
+    ``prefill_chunk_size`` caps how many prompt tokens one session prefills
+    per engine step.  A prompt longer than the chunk is admitted across
+    several steps — the session sits in the ``PREFILLING`` state with a
+    resumable offset — so in-flight decode sessions keep producing tokens
+    *between* the chunks of a long prompt instead of stalling for its whole
+    prefill (the head-of-line stall that blows up inter-token p95 exactly
+    when the server is busiest).  Prompts whose tail fits inside one chunk
+    still ride the ragged length-banded batched prefill.  ``None`` (default)
+    preserves one-shot prefill — each prompt admitted in a single forward —
+    which is the baseline the latency benchmark compares against.
+
+    ``step_token_budget`` bounds the *total* tokens one engine step schedules:
+    every in-flight decode row spends one token first, and only the remaining
+    budget is granted to prefill chunks / new admissions.  The bound is
+    exact: a prompt that *completes* its prefill joins the same step's decode
+    batch, so completion is charged one extra token — a grant that cannot
+    afford it stops one token short instead.  A small budget
+    keeps step wall-time (and therefore inter-token latency) flat under
+    prompt bursts; ``None`` leaves steps unbounded (prefill work is still
+    chunked per session when ``prefill_chunk_size`` is set).  Setting a
+    budget requires ``prefill_chunk_size`` — the budget is spent in chunk
+    grants.
     """
 
     max_batch_size: int = 16
@@ -57,12 +83,30 @@ class SchedulerPolicy:
     ragged_prefill: bool = True
     enable_prefix_cache: bool = True
     max_prefixes: int = 8
+    prefill_chunk_size: Optional[int] = None
+    step_token_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be a positive batch width, got "
                 f"{self.max_batch_size}")
+        if self.prefill_chunk_size is not None and self.prefill_chunk_size < 1:
+            raise ValueError(
+                f"prefill_chunk_size must be >= 1 tokens (or None for "
+                f"one-shot prefill), got {self.prefill_chunk_size}")
+        if self.step_token_budget is not None:
+            if self.step_token_budget < 2:
+                # Admitting any prompt costs at least 2 tokens (one prefill
+                # token plus its same-step decode row), so a budget of 1 can
+                # never admit anything — starvation, not throttling.
+                raise ValueError(
+                    f"step_token_budget must be >= 2 tokens (or None for "
+                    f"unbounded steps), got {self.step_token_budget}")
+            if self.prefill_chunk_size is None:
+                raise ValueError(
+                    "step_token_budget requires prefill_chunk_size: the "
+                    "budget is spent in prefill-chunk grants")
         if self.block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {self.block_size}")
         if self.prefill_padding < 0:
@@ -103,6 +147,7 @@ class ContinuousBatchingScheduler:
         self.policy = policy or SchedulerPolicy()
         self._queue: List[_QueueEntry] = []
         self._seq = 0
+        self._front_seq = 0  # decreasing seqs for requeued (deferred) sessions
         self.queue_depth_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.occupancy_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
         self.block_usage_samples: Deque[int] = deque(maxlen=self.MAX_SAMPLES)
@@ -126,6 +171,22 @@ class ContinuousBatchingScheduler:
         self._seq += 1
         return True
 
+    def requeue_front(self, session: GenerationSession) -> None:
+        """Return a popped-but-never-started session to the queue.
+
+        Used when the step token budget ran dry before an admitted session's
+        first prefill token.  Unlike :meth:`enqueue`, the entry keeps the
+        session's full wait: ``enqueued_at`` is its submission time (so
+        priority aging resumes where it left off, not from zero) and its seq
+        precedes every live entry (so it keeps winning FIFO ties against
+        later arrivals).  The queue bound does not apply — the session was
+        already accounted for when it first entered.
+        """
+        self._front_seq -= 1
+        self._queue.append(_QueueEntry(seq=self._front_seq,
+                                       enqueued_at=session.metrics.submitted_at,
+                                       session=session))
+
     def remove(self, session: GenerationSession) -> bool:
         """Drop a queued session (cancellation); False when not queued."""
         for index, entry in enumerate(self._queue):
@@ -140,6 +201,19 @@ class ContinuousBatchingScheduler:
         if aging is None:
             return entry.session.priority
         return entry.session.priority + int((now - entry.enqueued_at) / aging)
+
+    def prefill_budget(self, decode_rows: int) -> Optional[int]:
+        """Prompt tokens this step may spend after decode takes its share.
+
+        The unified token-budget policy: each of the ``decode_rows`` sessions
+        already in flight spends one token of ``step_token_budget`` first;
+        whatever remains funds prefill chunks and new admissions.  ``None``
+        means unbounded (no ``step_token_budget`` configured).
+        """
+        budget = self.policy.step_token_budget
+        if budget is None:
+            return None
+        return max(0, budget - decode_rows)
 
     def admissions(self, free_slots: int,
                    now: Optional[float] = None) -> List[GenerationSession]:

@@ -20,13 +20,14 @@ import numpy as np
 
 from ..llm import LanguageModel
 from ..llm.generation import GenerationResult, sample_token
-from ..nn import DEFAULT_BLOCK_SIZE, no_grad
+from ..nn import DEFAULT_BLOCK_SIZE, KVCache, no_grad
 from ..utils import seeded_rng
 from .metrics import RequestMetrics
 from .prefix import PrefixCache, PrefixEntry
 
 #: Session lifecycle states.
 QUEUED = "queued"
+PREFILLING = "prefilling"  # prompt partially committed (chunked prefill)
 RUNNING = "running"
 FINISHED = "finished"
 FAILED = "failed"
@@ -55,6 +56,14 @@ class GenerationSession:
     state: str = QUEUED
     slot: Optional[int] = None
     prompt_ids: List[int] = field(default_factory=list)
+    #: Prompt tokens already committed to the paged cache (chunked prefill
+    #: resumes from here; equals ``len(prompt_ids)`` once prefill completes).
+    prompt_pos: int = 0
+    #: Resumable single-session prefill cache holding the history computed so
+    #: far; dropped as soon as the prompt completes.
+    prefill_cache: Optional[KVCache] = field(default=None, repr=False)
+    #: Matched shared-prefix entry (None on a miss), set at prompt preparation.
+    prefix_entry: Optional[PrefixEntry] = field(default=None, repr=False)
     generated: List[int] = field(default_factory=list)
     stopped_by_eos: bool = False
     finish_reason: Optional[str] = None
@@ -146,6 +155,9 @@ class SessionManager:
                         max_length=self.max_context - 1)
             if prefix_cache else None)
         self.running: Dict[int, GenerationSession] = {}  # cache session id -> session
+        #: Sessions mid chunked prefill, keyed by *request* session_id (they
+        #: may not have a paged-cache slot yet).  They hold a batch slot.
+        self.prefilling: Dict[int, GenerationSession] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -153,8 +165,12 @@ class SessionManager:
         return len(self.running)
 
     @property
+    def num_prefilling(self) -> int:
+        return len(self.prefilling)
+
+    @property
     def num_free(self) -> int:
-        return self.max_slots - len(self.running)
+        return self.max_slots - len(self.running) - len(self.prefilling)
 
     # ------------------------------------------------------------------ #
     def register_prefix(self, text: str) -> PrefixEntry:
@@ -181,19 +197,13 @@ class SessionManager:
         if len(sessions) > self.num_free:
             raise RuntimeError(
                 f"cannot admit {len(sessions)} sessions into {self.num_free} free slots")
-        tokenizer = self.model.tokenizer
-        # Keep the whole prompt when it fits, else the most recent
-        # max_context tokens — the same window generate() prefills, so the
-        # first sampled token matches the standalone path even for prompts
-        # at the cap (such a session then finishes context_full right after).
-        limit = self.max_context
         by_prefix: Dict[Optional[Tuple[int, ...]],
                         Tuple[Optional[PrefixEntry], List[GenerationSession]]] = {}
         for session in sessions:
-            session.prompt_ids = tokenizer.encode(session.prompt, add_bos=True)[-limit:]
-            session.metrics.mark_admitted()
-            entry = (self.prefix.match(session.prompt_ids)
-                     if self.prefix is not None else None)
+            self._prepare_prompt(session)
+            self._revalidate_prefix(session)
+            self._mark_started(session)
+            entry = session.prefix_entry
             key = entry.token_ids if entry is not None else None
             if key not in by_prefix:
                 by_prefix[key] = (entry, [])
@@ -211,6 +221,54 @@ class SessionManager:
         finally:
             if was_training:
                 self.model.train()
+
+    def _prepare_prompt(self, session: GenerationSession) -> None:
+        """Tokenize the prompt once and match it against the prefix cache.
+
+        Idempotent: a session that already carries ``prompt_ids`` (e.g. it
+        was prepared when admission classified it for chunked prefill) is
+        left untouched, so hit/miss counters never double-count.  Keeps the
+        whole prompt when it fits, else the most recent ``max_context``
+        tokens — the same window ``generate()`` prefills, so the first
+        sampled token matches the standalone path even for prompts at the
+        cap (such a session then finishes ``context_full`` right after).
+        """
+        if session.prompt_ids:
+            return
+        session.prompt_ids = self.model.tokenizer.encode(
+            session.prompt, add_bos=True)[-self.max_context:]
+        entry = (self.prefix.match(session.prompt_ids)
+                 if self.prefix is not None else None)
+        session.prefix_entry = entry
+        session.prompt_pos = entry.length if entry is not None else 0
+        session.metrics.prefix_tokens = session.prompt_pos
+
+    def _revalidate_prefix(self, session: GenerationSession) -> None:
+        """Drop a matched prefix entry that was LRU-evicted while waiting.
+
+        A session can hold its match across engine steps (budget deferral,
+        budget-starved ``PREFILLING``); if a ``register_prefix`` evicted the
+        entry meanwhile, its pool blocks may already hold a different head's
+        K/V — fall back to a cold prefill, losing only the reuse.
+        """
+        if (session.prefill_cache is None and session.slot is None
+                and session.prefix_entry is not None
+                and (self.prefix is None
+                     or not self.prefix.is_live(session.prefix_entry))):
+            session.prefix_entry = None
+            session.prompt_pos = 0
+            session.metrics.prefix_tokens = 0
+
+    @staticmethod
+    def _mark_started(session: GenerationSession) -> None:
+        """Stamp admission once, when prefill work actually begins.
+
+        Preparation/classification can run steps before the session really
+        starts (budget deferral returns it to the queue), so the queue-wait
+        clock must keep running until the first real prefill work.
+        """
+        if session.metrics.admitted_at is None:
+            session.metrics.mark_admitted()
 
     def _length_bands(self, sessions: List[GenerationSession],
                       head_len: int) -> List[List[GenerationSession]]:
@@ -269,19 +327,211 @@ class SessionManager:
                 shared_blocks=shared)
             for session, session_id in zip(group, session_ids):
                 session.slot = session_id
-                session.metrics.prefix_tokens = head_len
+                session.prompt_pos = len(session.prompt_ids)
                 self.running[session.slot] = session
                 session.state = RUNNING
         for row, session in enumerate(group):
             self._consume_logits(session, logits.data[row, lengths[row] - 1, :])
 
+    # ------------------------------------------------------------------ #
+    # Chunked prefill (token-budget step scheduling)
+    # ------------------------------------------------------------------ #
+    def prefill_step(self, new_sessions: List[GenerationSession],
+                     chunk_size: int, token_budget: Optional[int] = None
+                     ) -> Tuple[int, List[GenerationSession],
+                                List[Tuple[GenerationSession, BaseException]],
+                                List[GenerationSession]]:
+        """Spend up to ``token_budget`` prompt tokens on prefill work.
+
+        In-flight ``PREFILLING`` sessions resume first (admission order),
+        each granted up to ``chunk_size`` tokens; the remaining budget then
+        starts ``new_sessions``.  New sessions whose whole prompt tail fits
+        in one chunk (and in the remaining budget) are batched through the
+        ragged length-banded one-shot path (:meth:`admit_many`), so chunking
+        composes with banded prefill instead of replacing it; longer prompts
+        enter the ``PREFILLING`` state and continue across steps.
+
+        Returns ``(tokens_spent, terminal, failures, deferred)``:
+        ``terminal`` lists sessions that reached ``FINISHED`` during the
+        phase (e.g. EOS sampled straight from prefill logits), ``failures``
+        pairs sessions with the error that aborted them (their slot and
+        blocks are already released), and ``deferred`` holds *new* sessions
+        the budget could not give a single token to — they stay ``QUEUED``
+        (no slot held) so the caller can put them back in its priority queue
+        instead of letting them hoard batch slots in FIFO prefill order.
+
+        Budget accounting is exact: a session whose prompt *completes* this
+        step joins the decode batch of the same engine step, so completion is
+        charged ``tail + 1`` tokens (its chunk plus its same-step decode row);
+        a grant that cannot afford the extra decode token stops one token
+        short of completing instead of busting ``step_token_budget``.
+        """
+        spent = 0
+        terminal: List[GenerationSession] = []
+        failures: List[Tuple[GenerationSession, BaseException]] = []
+        deferred: List[GenerationSession] = []
+
+        def allowance() -> Optional[int]:
+            return None if token_budget is None else token_budget - spent
+
+        def grant_and_cost(session, left) -> Tuple[int, int]:
+            """(prompt tokens to prefill, budget tokens that will cost)."""
+            remaining = len(session.prompt_ids) - session.prompt_pos
+            grant = chunk_size if left is None else min(chunk_size, left)
+            if grant >= remaining:
+                if left is None or left >= remaining + 1:
+                    return remaining, remaining + 1
+                return max(0, left - 1), max(0, left - 1)
+            return grant, grant
+
+        for session in list(self.prefilling.values()):
+            left = allowance()
+            if left is not None and left <= 0:
+                break
+            grant, cost = grant_and_cost(session, left)
+            if grant <= 0:
+                break
+            try:
+                self.prefill_chunk(session, grant)
+            except Exception as error:
+                self._abort(session)
+                failures.append((session, error))
+                continue
+            spent += cost
+            if session.state == FINISHED:
+                terminal.append(session)
+
+        one_shot: List[GenerationSession] = []
+        for session in new_sessions:
+            self._prepare_prompt(session)
+            self._revalidate_prefix(session)
+            tail = len(session.prompt_ids) - session.prompt_pos
+            left = allowance()
+            if tail <= chunk_size and (left is None or tail + 1 <= left):
+                one_shot.append(session)
+                spent += tail + 1  # banded prefill + same-step decode row
+                continue
+            grant, cost = grant_and_cost(session, left)
+            if grant <= 0:
+                # The budget ran dry before this session's first token (the
+                # admission cap makes that rare — e.g. a one-token tail with
+                # exactly one budget token left).  It stays QUEUED for the
+                # caller to requeue rather than holding a slot at zero
+                # progress.
+                deferred.append(session)
+                continue
+            session.state = PREFILLING
+            self.prefilling[session.session_id] = session
+            try:
+                self.prefill_chunk(session, grant)
+                spent += cost
+            except Exception as error:
+                self._abort(session)
+                failures.append((session, error))
+        if one_shot:
+            try:
+                self.admit_many(one_shot)
+            except Exception:
+                # Batched prefill failed: retry one by one so a single bad
+                # request cannot reject the whole band.
+                for session in one_shot:
+                    if session.state != QUEUED:
+                        continue
+                    try:
+                        self.admit(session)
+                    except Exception as error:
+                        self._abort(session)
+                        failures.append((session, error))
+            terminal.extend(s for s in one_shot if s.state == FINISHED)
+        return spent, terminal, failures, deferred
+
+    def prefill_chunk(self, session: GenerationSession, max_tokens: int) -> int:
+        """Advance one session's prefill by up to ``max_tokens`` prompt tokens.
+
+        The chunk runs through the session's resumable single-session cache
+        (:attr:`GenerationSession.prefill_cache`) — attention over the
+        already-committed history is the ordinary incremental causal forward,
+        so chunked logits match one-shot prefill exactly — and is scattered
+        into the paged pool (:meth:`~repro.nn.PagedKVCache.admit_rows` for the
+        first chunk, :meth:`~repro.nn.PagedKVCache.extend_session` after).
+        When the last prompt token commits, the first output token is sampled
+        from the final chunk's logits and the session joins the decode batch.
+        Returns the number of prompt tokens consumed.
+        """
+        if session.state not in (QUEUED, PREFILLING):
+            raise ValueError(f"cannot prefill a {session.state} session")
+        if max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        self._prepare_prompt(session)
+        if session.state == QUEUED:
+            session.state = PREFILLING
+            self.prefilling[session.session_id] = session
+        self._revalidate_prefix(session)
+        self._mark_started(session)
+        take = min(max_tokens, len(session.prompt_ids) - session.prompt_pos)
+        if take <= 0:
+            raise ValueError(f"session {session.session_id} has no prompt "
+                             f"tokens left to prefill")
+        was_training = self.model.training
+        if was_training:  # KV-cached forwards require eval mode (as generate())
+            self.model.eval()
+        try:
+            with no_grad():
+                if session.prefill_cache is None:
+                    entry = session.prefix_entry
+                    session.prefill_cache = (
+                        self.prefix.seed_cache(entry, 1)
+                        if entry is not None else self.model.init_cache())
+                chunk = np.asarray(
+                    session.prompt_ids[session.prompt_pos:
+                                       session.prompt_pos + take],
+                    dtype=np.int64)[None, :]
+                logits = self.model.forward_incremental(chunk,
+                                                        session.prefill_cache)
+                new_length = session.prompt_pos + take
+                if session.slot is None:
+                    shared = (session.prefix_entry.block_ids
+                              if session.prefix_entry is not None else ())
+                    session.slot = self.cache.admit_rows(
+                        session.prefill_cache, rows=[0],
+                        lengths=[new_length], shared_blocks=shared)[0]
+                else:
+                    self.cache.extend_session(session.slot,
+                                              session.prefill_cache,
+                                              new_length=new_length)
+                session.prompt_pos = new_length
+        finally:
+            if was_training:
+                self.model.train()
+        if session.prompt_pos == len(session.prompt_ids):
+            # Prompt complete: drop the resumable cache, join the decode
+            # batch and sample the first output token from the final logits.
+            del self.prefilling[session.session_id]
+            session.prefill_cache = None
+            self.running[session.slot] = session
+            session.state = RUNNING
+            self._consume_logits(session, logits.data[0, -1, :])
+        return take
+
+    def _abort(self, session: GenerationSession) -> None:
+        """Release a failed session's slot/blocks without finishing it."""
+        self.prefilling.pop(session.session_id, None)
+        if session.slot is not None:
+            self.running.pop(session.slot, None)
+            self.cache.evict(session.slot)
+            session.slot = None
+        session.prefill_cache = None
+        session.state = FAILED
+
     def evict(self, session: GenerationSession, reason: str) -> None:
         session.finish_reason = session.finish_reason or reason
         session.state = FINISHED
         session.metrics.mark_finished()
+        self.prefilling.pop(session.session_id, None)
+        session.prefill_cache = None
         if session.slot is not None:
+            self.running.pop(session.slot, None)
             self.cache.evict(session.slot)
-            del self.running[session.slot]
             session.slot = None
 
     # ------------------------------------------------------------------ #

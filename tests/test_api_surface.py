@@ -113,6 +113,10 @@ class TestServeSurface:
         fields = _fields(serve.SchedulerPolicy)
         assert {"max_batch_size", "max_context", "max_queue",
                 "priority_aging_s", "block_size", "prefill_padding",
-                "ragged_prefill", "enable_prefix_cache",
-                "max_prefixes"} == set(fields)
+                "ragged_prefill", "enable_prefix_cache", "max_prefixes",
+                "prefill_chunk_size", "step_token_budget"} == set(fields)
         assert fields["priority_aging_s"] == 30.0
+        # Chunked prefill is opt-in: the defaults preserve one-shot prefill
+        # with unbounded steps (the pre-chunking engine behaviour).
+        assert fields["prefill_chunk_size"] is None
+        assert fields["step_token_budget"] is None

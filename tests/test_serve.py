@@ -652,6 +652,43 @@ class TestMetricsAggregation:
         assert stats.prefix_hits == 3 and stats.prefix_misses == 1
         assert stats.prefix_tokens_reused == 75
 
+    def test_ttft_and_inter_token_latency_aggregation(self):
+        # Request 1: first token 0.3s after submit, then decode gaps
+        # 0.01/0.02/0.03s.  Request 2: first token at 0.5s, gaps 0.1/0.2s.
+        first = self._request("generate", submitted=0.0, admitted=0.1,
+                              finished=1.0, tokens=4, first_token=0.3)
+        first.token_seconds = [0.2, 0.01, 0.02, 0.03]
+        second = self._request("generate", submitted=0.0, admitted=0.2,
+                               finished=1.5, tokens=3, first_token=0.5)
+        second.token_seconds = [0.3, 0.1, 0.2]
+        assert first.ttft_s == pytest.approx(0.3)
+        assert first.inter_token_seconds == [0.01, 0.02, 0.03]
+        # A request that never produced a token contributes no TTFT/ITL.
+        tokenless = self._request("generate", submitted=0.0, admitted=0.1,
+                                  finished=0.2)
+        assert tokenless.ttft_s == 0.0 and tokenless.inter_token_seconds == []
+
+        stats = ServerStats.from_requests([first, second, tokenless],
+                                          wall_seconds=2.0,
+                                          occupancy_samples=[2],
+                                          queue_depth_samples=[0])
+        ttfts = [0.3, 0.5]
+        itls = [0.01, 0.02, 0.03, 0.1, 0.2]
+        assert stats.ttft_p50_s == pytest.approx(np.percentile(ttfts, 50))
+        assert stats.ttft_p95_s == pytest.approx(np.percentile(ttfts, 95))
+        assert stats.itl_p50_s == pytest.approx(np.percentile(itls, 50))
+        assert stats.itl_p95_s == pytest.approx(np.percentile(itls, 95))
+        report = stats.report()
+        for key in ("ttft_p50_s", "ttft_p95_s", "itl_p50_s", "itl_p95_s"):
+            assert report[key] == pytest.approx(getattr(stats, key))
+
+    def test_ttft_itl_empty_defaults(self):
+        stats = ServerStats.from_requests([], wall_seconds=0.0,
+                                          occupancy_samples=[],
+                                          queue_depth_samples=[])
+        assert stats.ttft_p50_s == 0.0 and stats.ttft_p95_s == 0.0
+        assert stats.itl_p50_s == 0.0 and stats.itl_p95_s == 0.0
+
     def test_per_priority_queue_stats_and_outcome_counts(self):
         from repro.serve.metrics import OUTCOME_CANCELLED, OUTCOME_EXPIRED
 
@@ -1559,6 +1596,546 @@ class TestStreamLifecycleEdges:
         assert time.perf_counter() - start < 5.0
         server.run_until_idle()
         assert handle.result().token_ids
+
+
+def _admit_chunked(model, paged, prompt_ids, chunk):
+    """Prefill ``prompt_ids`` into ``paged`` chunk by chunk; return the
+    session id, the resumable prefill cache and the final-position logits."""
+    cache = model.init_cache()
+    sid = None
+    logits = None
+    for start in range(0, len(prompt_ids), chunk):
+        piece = np.asarray(prompt_ids[start:start + chunk], dtype=np.int64)[None, :]
+        logits = model.forward_incremental(piece, cache)
+        if sid is None:
+            sid = paged.admit_rows(cache, rows=[0],
+                                   lengths=[min(chunk, len(prompt_ids))])[0]
+        else:
+            paged.extend_session(sid, cache)
+        paged.check_invariants()
+    return sid, cache, logits.data[0, -1]
+
+
+# ---------------------------------------------------------------------- #
+# Chunked prefill: exact parity with one-shot prefill, lifecycle, budgets
+# ---------------------------------------------------------------------- #
+class TestChunkedPrefill:
+    #: Chunk sizes deliberately straddle the block size (4 in these tests):
+    #: smaller than a block, equal, not a divisor of the block, larger and
+    #: non-divisible, and larger than the whole prompt (degenerate one-shot).
+    CHUNKS = (1, 3, 4, 6, 64)
+
+    def test_chunked_admission_exact_logit_parity(self, model):
+        """Chunked prefill + decode == one-shot prefill + decode, exactly."""
+        rng = np.random.default_rng(5)
+        vocab = model.tokenizer.vocab_size
+        prompt = rng.integers(0, vocab, size=23).tolist()
+        for chunk in self.CHUNKS:
+            paged = model.init_paged_cache(max_sessions=4, block_size=4)
+            with no_grad():
+                one_shot_cache, _ = _prefill(model, prompt)
+                reference = model.forward_incremental(
+                    np.asarray(prompt, dtype=np.int64)[None, :],
+                    model.init_cache()).data[0, -1]
+                sid_ref = paged.admit(one_shot_cache)
+                sid_chunked, _, last_logits = _admit_chunked(
+                    model, paged, prompt, chunk)
+                np.testing.assert_allclose(last_logits, reference, atol=1e-9,
+                                           rtol=0, err_msg=f"chunk={chunk}")
+                # Both sessions now decode together; every step must agree.
+                token = int(np.argmax(last_logits))
+                ids = np.asarray([sid_ref, sid_chunked], dtype=np.int64)
+                for _ in range(6):
+                    out = model.forward_step(np.asarray([token, token]),
+                                             paged, ids).data[:, -1, :]
+                    np.testing.assert_allclose(out[1], out[0], atol=1e-9,
+                                               rtol=0, err_msg=f"chunk={chunk}")
+                    token = int(np.argmax(out[0]))
+                    paged.check_invariants()
+
+    def test_extend_session_copy_on_write_on_forked_tail(self, model):
+        """Extending a session whose partial tail is shared splits it first."""
+        rng = np.random.default_rng(9)
+        vocab = model.tokenizer.vocab_size
+        prompt = rng.integers(0, vocab, size=10).tolist()
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache = model.init_cache()
+            model.forward_incremental(
+                np.asarray(prompt[:6], dtype=np.int64)[None, :], cache)
+            sid = paged.admit_rows(cache, rows=[0], lengths=[6])[0]
+            clone = paged.fork(sid)  # shares the partially filled tail block
+            shared_tail = paged.table(sid)[-1]
+            model.forward_incremental(
+                np.asarray(prompt[6:], dtype=np.int64)[None, :], cache)
+            paged.extend_session(sid, cache)
+            # The original got its own tail copy; the clone kept the old one.
+            assert paged.table(sid)[1] != shared_tail
+            assert paged.table(clone)[-1] == shared_tail
+            paged.check_invariants()
+            # Both decode exactly like independent references.
+            ref_full, _ = _prefill(model, prompt)
+            ref_part, _ = _prefill(model, prompt[:6])
+            for token in (3, 7):
+                out = model.forward_step(np.asarray([token, token]), paged,
+                                         np.asarray([sid, clone])).data[:, -1, :]
+                exp_full = model.forward_incremental(
+                    np.asarray([[token]], dtype=np.int64), ref_full).data[0, -1]
+                exp_part = model.forward_incremental(
+                    np.asarray([[token]], dtype=np.int64), ref_part).data[0, -1]
+                np.testing.assert_allclose(out[0], exp_full, atol=1e-9, rtol=0)
+                np.testing.assert_allclose(out[1], exp_part, atol=1e-9, rtol=0)
+                paged.check_invariants()
+
+    def test_extend_session_validation(self, model):
+        paged = model.init_paged_cache(max_sessions=2, block_size=4)
+        with no_grad():
+            cache, _ = _prefill(model, [1, 2, 3])
+            sid = paged.admit(cache)
+            with pytest.raises(ValueError, match="cannot extend"):
+                paged.extend_session(sid, cache)  # nothing new in the cache
+            with pytest.raises(ValueError, match="not live"):
+                paged.extend_session(sid + 999, cache)
+            paged.check_invariants()
+
+    @pytest.mark.parametrize("chunk,budget", [(1, None), (3, 8), (4, 6), (6, None)])
+    def test_served_chunked_streams_match_generate(self, model, chunk, budget):
+        """Engine-level: chunked policies reproduce standalone generate()."""
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=3, block_size=4, prefill_chunk_size=chunk,
+            step_token_budget=budget))
+        prompts = ["ab", "a considerably longer prompt spanning many chunks",
+                   "mid size prompt", "x", "another long one 0123456789 qrstuv"]
+        handles = [server.submit(GenerateRequest(prompt=p, max_new_tokens=6,
+                                                 stop_on_eos=False))
+                   for p in prompts]
+        server.run_until_idle()
+        for prompt, handle in zip(prompts, handles):
+            reference = generate(model, prompt, max_new_tokens=6,
+                                 stop_on_eos=False)
+            assert handle.result().token_ids == reference.token_ids
+        manager = server._manager
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs()
+            if manager.prefix else None)
+        assert manager.cache.num_sessions == 0 and manager.num_prefilling == 0
+
+    def test_chunked_prefill_composes_with_prefix_cache(self, model):
+        """A chunked tail behind a shared cached head stays exact."""
+        preamble = "predict the bandwidth: "
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=2, block_size=4, prefill_chunk_size=3,
+            step_token_budget=8))
+        server.register_prefix(preamble)
+        prompt = preamble + "history 1.0 2.0 3.0 4.0"
+        handle = server.submit(GenerateRequest(prompt=prompt, max_new_tokens=6,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        reference = generate(model, prompt, max_new_tokens=6, stop_on_eos=False)
+        assert handle.result().token_ids == reference.token_ids
+        stats = server.stats()
+        assert stats.prefix_hits == 1
+        assert handle.metrics.prefix_tokens > 0
+        manager = server._manager
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+    def test_long_prompt_does_not_stall_in_flight_decode(self, model):
+        """Decode sessions keep committing tokens between prefill chunks."""
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=2, block_size=4, prefill_chunk_size=4,
+            enable_prefix_cache=False))
+        short = server.submit(GenerateRequest(prompt="hi", max_new_tokens=40,
+                                              stop_on_eos=False))
+        server.step()  # admit + first decode of the short session
+        long_prompt = "z" * 40  # 41 tokens with BOS: many chunks of 4
+        long = server.submit(GenerateRequest(prompt=long_prompt,
+                                             max_new_tokens=4,
+                                             stop_on_eos=False))
+        manager = server._manager
+        tokens_before = short._session.metrics.tokens_generated
+        prefilling_steps = 0
+        for _ in range(30):
+            server.step()
+            if long._session.state == "prefilling":
+                prefilling_steps += 1
+            if long._session.state in ("running", "finished"):
+                break
+        # The long prompt really was admitted across several steps, and the
+        # short session kept producing a token on every one of them.
+        assert prefilling_steps >= 5
+        assert (short._session.metrics.tokens_generated - tokens_before
+                >= prefilling_steps)
+        server.run_until_idle()
+        reference = generate(model, long_prompt, max_new_tokens=4,
+                             stop_on_eos=False)
+        assert long.result().token_ids == reference.token_ids
+        assert short.result().token_ids
+        manager.cache.check_invariants()
+
+    def test_stream_first_token_arrives_when_chunked_prefill_completes(self, model):
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=2, block_size=4, prefill_chunk_size=4,
+            step_token_budget=8, enable_prefix_cache=False))
+        handle = server.submit(GenerateRequest(prompt="s" * 30, max_new_tokens=6,
+                                               stop_on_eos=False, stream=True))
+        pieces = list(handle.stream(timeout=60))  # sync drive
+        result = handle.result()
+        assert "".join(pieces) == result.text
+        assert len(pieces) == len(result.token_ids)
+        reference = generate(model, "s" * 30, max_new_tokens=6,
+                             stop_on_eos=False)
+        assert result.token_ids == reference.token_ids
+
+    def test_step_token_budget_bounds_per_step_prefill(self, model):
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=2, block_size=4, prefill_chunk_size=4,
+            step_token_budget=4, enable_prefix_cache=False))
+        handle = server.submit(GenerateRequest(prompt="y" * 20, max_new_tokens=2,
+                                               stop_on_eos=False))
+        session = handle._session
+        progress = []
+        while session.state in ("queued", "prefilling") and len(progress) < 20:
+            server.step()
+            progress.append(session.prompt_pos)
+        # 21 prompt tokens at <= 4 per step: at least 6 prefill steps, each
+        # advancing by at most the chunk/budget grant.
+        deltas = [b - a for a, b in zip([0] + progress, progress)]
+        assert max(deltas) <= 4
+        assert sum(1 for d in deltas if d) >= 6
+        server.run_until_idle()
+        assert handle.result().token_ids
+
+    def test_cancel_and_deadline_during_prefill_release_blocks(self, model):
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=2, block_size=4, prefill_chunk_size=4,
+            enable_prefix_cache=False))
+        cancelled = server.submit(GenerateRequest(prompt="c" * 40,
+                                                  max_new_tokens=4,
+                                                  stop_on_eos=False))
+        server.step()
+        assert cancelled._session.state == "prefilling"
+        assert server._manager.cache.blocks_in_use > 0
+        assert cancelled.cancel() is True
+        assert server._manager.cache.blocks_in_use == 0
+        assert server._manager.num_prefilling == 0
+        server._manager.cache.check_invariants()
+        with pytest.raises(RequestCancelled):
+            cancelled.result()
+
+        doomed = server.submit(GenerateRequest(prompt="d" * 40,
+                                               max_new_tokens=4,
+                                               stop_on_eos=False,
+                                               deadline_s=0.01))
+        server.step()
+        assert doomed._session.state == "prefilling"
+        time.sleep(0.02)
+        server.run_until_idle()
+        with pytest.raises(DeadlineExceeded):
+            doomed.result()
+        assert server._manager.cache.blocks_in_use == 0
+        server._manager.cache.check_invariants()
+
+    def test_randomized_chunked_admit_decode_cancel_evict(self, model):
+        """Pool invariants hold through a random chunked-prefill interleaving
+        and every surviving stream still matches standalone generate."""
+        rng = np.random.default_rng(77)
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=3, block_size=4, prefill_chunk_size=3,
+            step_token_budget=10, prefill_padding=0.25))
+        manager = server._manager
+        prompts, handles = {}, {}
+        next_id = 0
+        saw_prefilling = 0
+
+        def check():
+            manager.cache.check_invariants(
+                external_refs=manager.prefix.external_refs()
+                if manager.prefix else None)
+
+        for _ in range(180):
+            action = rng.random()
+            open_handles = [h for h in handles.values() if not h.done()]
+            if action < 0.3 and len(handles) < 24:
+                length = int(rng.integers(1, 40))  # many prompts span chunks
+                prompt = "".join(rng.choice(list("abc 123.")) for _ in range(length))
+                prompts[next_id] = prompt
+                handles[next_id] = server.submit(GenerateRequest(
+                    prompt=prompt, max_new_tokens=int(rng.integers(2, 8)),
+                    stop_on_eos=False))
+                next_id += 1
+            elif action < 0.45 and open_handles:
+                victim = open_handles[int(rng.integers(len(open_handles)))]
+                victim.cancel()
+            else:
+                server.step()
+            saw_prefilling += manager.num_prefilling
+            check()
+        server.run_until_idle()
+        check()
+        assert manager.cache.num_sessions == 0 and manager.num_prefilling == 0
+        assert saw_prefilling > 0  # chunked admission really interleaved
+        cancelled = finished = 0
+        for key, handle in handles.items():
+            assert handle.done()
+            try:
+                result = handle.result()
+            except RequestCancelled:
+                cancelled += 1
+                continue
+            finished += 1
+            reference = generate(model, prompts[key],
+                                 max_new_tokens=result.num_inferences,
+                                 stop_on_eos=False)
+            assert result.token_ids == reference.token_ids
+        assert cancelled >= 3 and finished >= 5
+
+    def test_prefix_eviction_between_match_and_first_chunk_falls_back(self, model):
+        """Review regression: a budget-starved session whose matched head is
+        LRU-evicted before its first chunk must cold-prefill, not seed from
+        pool blocks that now hold a different head's K/V."""
+        from repro.serve.session import PREFILLING
+
+        manager = SessionManager(model, max_slots=2, block_size=4,
+                                 max_prefixes=1)
+        entry = manager.register_prefix("shared head abc ")
+        prompt = "shared head abc tail 12345"
+        session = GenerationSession(session_id=1, prompt=prompt,
+                                    max_new_tokens=4, stop_on_eos=False)
+        manager._prepare_prompt(session)
+        assert session.prefix_entry is entry and session.prompt_pos > 0
+        # Simulate the grant-0 window: the session sits PREFILLING with no
+        # chunk admitted while another registration evicts its head.
+        session.state = PREFILLING
+        manager.prefilling[session.session_id] = session
+        manager.register_prefix("a different head!")  # LRU-evicts `entry`
+        assert not manager.prefix.is_live(entry)
+        while session.state == PREFILLING:
+            manager.prefill_chunk(session, 5)
+        assert session.metrics.prefix_tokens == 0  # reuse lost, not corrupted
+        while manager.num_running:
+            manager.step()
+        reference = generate(model, prompt, max_new_tokens=4, stop_on_eos=False)
+        assert session.generated == reference.token_ids
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+    def test_budget_pressure_defers_admission_instead_of_zero_grants(self, model):
+        """Review regression: while the budget is consumed by an in-flight
+        prefill, later arrivals stay in the priority queue (where aging and
+        priority ordering apply) instead of being admitted with zero-token
+        grants that hoard batch slots in FIFO order."""
+        server = InferenceServer(model, SchedulerPolicy(
+            max_batch_size=4, block_size=4, prefill_chunk_size=4,
+            step_token_budget=4, enable_prefix_cache=False))
+        first = server.submit(GenerateRequest(prompt="f" * 30, max_new_tokens=2,
+                                              stop_on_eos=False))
+        server.step()
+        assert first._session.state == "prefilling"
+        low = server.submit(GenerateRequest(prompt="low", max_new_tokens=2,
+                                            stop_on_eos=False, priority=0))
+        high = server.submit(GenerateRequest(prompt="high", max_new_tokens=2,
+                                             stop_on_eos=False, priority=2))
+        # While `first`'s chunks consume the whole budget, neither arrival
+        # may leave the queue: every admitted session must make progress.
+        while first._session.state == "prefilling":
+            server.step()
+            for handle in (low, high):
+                session = handle._session
+                assert (session.state == "queued"
+                        or session.prompt_pos > 0), (
+                    "session admitted without receiving any prefill tokens")
+        server.run_until_idle()
+        # The high-priority arrival overtook the earlier low-priority one.
+        assert high.metrics.finished_at < low.metrics.finished_at
+        for handle, prompt in ((low, "low"), (high, "high")):
+            reference = generate(model, prompt, max_new_tokens=2,
+                                 stop_on_eos=False)
+            assert handle.result().token_ids == reference.token_ids
+
+    def test_prefix_eviction_before_one_shot_readmission_falls_back(self, model):
+        """Review regression: a deferred session re-admitted through the
+        banded one-shot path must also re-validate its matched head."""
+        manager = SessionManager(model, max_slots=2, block_size=4,
+                                 max_prefixes=1)
+        entry = manager.register_prefix("shared head abc ")
+        prompt = "shared head abc Z"
+        session = GenerationSession(session_id=1, prompt=prompt,
+                                    max_new_tokens=3, stop_on_eos=False)
+        manager._prepare_prompt(session)  # matched, then deferred by budget
+        assert session.prefix_entry is entry
+        manager.register_prefix("another head entirely")  # LRU-evicts it
+        manager.admit_many([session])  # one-shot path must cold-prefill
+        assert session.metrics.prefix_tokens == 0
+        while manager.num_running:
+            manager.step()
+        reference = generate(model, prompt, max_new_tokens=3, stop_on_eos=False)
+        assert session.generated == reference.token_ids
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+    def test_requeue_front_preserves_wait_and_fifo_position(self):
+        """Review regression: a budget-deferred session goes back to the
+        *front* of its class with its original wait, so priority aging and
+        FIFO ties are not reset by the deferral."""
+        scheduler = ContinuousBatchingScheduler(SchedulerPolicy(
+            max_batch_size=8, max_queue=2))
+        first = GenerationSession(session_id=1, prompt="a")
+        second = GenerationSession(session_id=2, prompt="b")
+        assert scheduler.enqueue(first) and scheduler.enqueue(second)
+        popped = scheduler.admissions(2)
+        assert popped == [first, second]
+        later = GenerationSession(session_id=3, prompt="c")
+        assert scheduler.enqueue(later)
+        # Requeue as the engine does: reversed, so `first` keeps the
+        # earliest effective seq.  The queue bound does not apply.
+        scheduler.requeue_front(second)
+        scheduler.requeue_front(first)
+        assert scheduler.queue_depth == 3
+        entries = {e.session.session_id: e for e in scheduler._queue}
+        # Aging resumes from the original submission time, not from now.
+        assert entries[1].enqueued_at == first.metrics.submitted_at
+        order = [s.session_id for s in scheduler.admissions(3)]
+        assert order == [1, 2, 3]
+
+    def test_one_token_tail_with_one_budget_token_defers(self, model):
+        """Review regression: a new session whose whole remaining tail is one
+        token needs TWO budget tokens (prefill + same-step decode row); with
+        only one left it must stay QUEUED — deferred, holding no slot — not
+        enter PREFILLING at zero progress."""
+        manager = SessionManager(model, max_slots=4, block_size=4)
+        manager.register_prefix("head text ")
+        session = GenerationSession(session_id=1, prompt="head text X",
+                                    max_new_tokens=2, stop_on_eos=False)
+        spent, terminal, failures, deferred = manager.prefill_step(
+            [session], chunk_size=4, token_budget=1)
+        assert deferred == [session] and not terminal and not failures
+        assert session.state == "queued" and session.slot is None
+        assert manager.num_prefilling == 0 and spent == 0
+        # With two tokens of budget the same session completes one-shot.
+        spent, terminal, failures, deferred = manager.prefill_step(
+            [session], chunk_size=4, token_budget=2)
+        assert not deferred and session.state == "running" and spent == 2
+        while manager.num_running:
+            manager.step()
+        reference = generate(model, "head text X", max_new_tokens=2,
+                             stop_on_eos=False)
+        assert session.generated == reference.token_ids
+        manager.cache.check_invariants(
+            external_refs=manager.prefix.external_refs())
+
+    def test_budget_policy_validation_and_math(self):
+        with pytest.raises(ValueError, match="prefill_chunk_size"):
+            SchedulerPolicy(prefill_chunk_size=0)
+        with pytest.raises(ValueError, match="step_token_budget"):
+            SchedulerPolicy(prefill_chunk_size=4, step_token_budget=0)
+        # A budget of 1 can never admit (prefill + same-step decode is 2).
+        with pytest.raises(ValueError, match="step_token_budget must be >= 2"):
+            SchedulerPolicy(prefill_chunk_size=4, step_token_budget=1)
+        SchedulerPolicy(prefill_chunk_size=4, step_token_budget=2)
+        with pytest.raises(ValueError, match="requires prefill_chunk_size"):
+            SchedulerPolicy(step_token_budget=32)
+        scheduler = ContinuousBatchingScheduler(SchedulerPolicy(
+            prefill_chunk_size=8, step_token_budget=24))
+        # Decode rows spend one token each before prefill sees the budget.
+        assert scheduler.prefill_budget(decode_rows=0) == 24
+        assert scheduler.prefill_budget(decode_rows=10) == 14
+        assert scheduler.prefill_budget(decode_rows=30) == 0
+        unbounded = ContinuousBatchingScheduler(SchedulerPolicy(
+            prefill_chunk_size=8))
+        assert unbounded.prefill_budget(decode_rows=10) is None
+
+
+# ---------------------------------------------------------------------- #
+# prepare_step gather-plan caching (decode hot path)
+# ---------------------------------------------------------------------- #
+class TestPrepareStepPlanCache:
+    def test_steady_decode_reuses_gather_tables(self, model):
+        paged = model.init_paged_cache(max_sessions=4, block_size=8)
+        with no_grad():
+            cache_a, token_a = _prefill(model, [1, 2, 3])
+            cache_b, token_b = _prefill(model, [4, 5, 6, 7])
+            sid_a = paged.admit(cache_a)
+            sid_b = paged.admit(cache_b)
+            ids = np.asarray([sid_a, sid_b], dtype=np.int64)
+            tokens = np.asarray([token_a, token_b])
+            model.forward_step(tokens, paged, ids)  # builds the plan
+            rebuilds = paged.table_rebuilds
+            updates = paged.table_row_updates
+            # Lengths are now 4 and 5; the next 3 steps stay inside the
+            # current tail blocks: the cached plan must be reused untouched.
+            for _ in range(3):
+                model.forward_step(tokens, paged, ids)
+                paged.check_invariants()
+            assert paged.table_rebuilds == rebuilds
+            assert paged.table_row_updates == updates
+            # Step to lengths 8/9: session A crosses a block boundary; that
+            # refreshes exactly one cached row — still no full rebuild.
+            model.forward_step(tokens, paged, ids)  # a=8 boundary next step
+            assert paged.table_rebuilds == rebuilds
+            # Changing the batch composition rebuilds the plan once.
+            model.forward_step(np.asarray([token_a]), paged,
+                               np.asarray([sid_a], dtype=np.int64))
+            assert paged.table_rebuilds == rebuilds + 1
+
+    def test_boundary_crossing_updates_single_row(self, model):
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache_a, token_a = _prefill(model, [1, 2])        # length 2
+            cache_b, token_b = _prefill(model, [3, 4, 5, 6, 7, 8])  # length 6
+            sid_a = paged.admit(cache_a)
+            sid_b = paged.admit(cache_b)
+            ids = np.asarray([sid_a, sid_b], dtype=np.int64)
+            tokens = np.asarray([token_a, token_b])
+            model.forward_step(tokens, paged, ids)  # plan built; lengths 3, 7
+            rebuilds = paged.table_rebuilds
+            updates = paged.table_row_updates
+            # Next step: a -> 4 (in tail), b -> 8 (allocates block; the plan
+            # row is patched in place, no row rewrite needed when the table
+            # still fits the cached width... b grows to 3 blocks > width 2,
+            # which widens and rewrites that one row).
+            model.forward_step(tokens, paged, ids)
+            assert paged.table_rebuilds == rebuilds
+            assert paged.table_row_updates >= updates
+            paged.check_invariants()
+
+    def test_plan_survives_unrelated_eviction(self, model):
+        """Evicting a session outside the batch must not corrupt the plan."""
+        paged = model.init_paged_cache(max_sessions=4, block_size=4)
+        with no_grad():
+            cache_a, token_a = _prefill(model, [1, 2, 3])
+            cache_b, token_b = _prefill(model, [4, 5])
+            cache_c, _ = _prefill(model, [6, 7, 8, 9, 10])
+            sid_a = paged.admit(cache_a)
+            sid_b = paged.admit(cache_b)
+            sid_c = paged.admit(cache_c)
+            ids = np.asarray([sid_a, sid_b], dtype=np.int64)
+            tokens = [token_a, token_b]
+            out = model.forward_step(np.asarray(tokens), paged, ids).data[:, -1, :]
+            paged.evict(sid_c)  # bumps the epoch; batch rows unchanged
+            for row, cache in enumerate((cache_a, cache_b)):
+                expected = model.forward_incremental(
+                    np.asarray([[tokens[row]]], dtype=np.int64), cache).data[0, -1]
+                np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
+                tokens[row] = int(np.argmax(expected))
+            out = model.forward_step(np.asarray(tokens), paged, ids).data[:, -1, :]
+            for row, cache in enumerate((cache_a, cache_b)):
+                expected = model.forward_incremental(
+                    np.asarray([[tokens[row]]], dtype=np.int64), cache).data[0, -1]
+                np.testing.assert_allclose(out[row], expected, atol=1e-9, rtol=0)
+            paged.check_invariants()
+
+    def test_stepping_an_evicted_session_still_raises(self, model):
+        paged = model.init_paged_cache(max_sessions=2, block_size=4)
+        with no_grad():
+            cache, token = _prefill(model, [1, 2, 3])
+            sid = paged.admit(cache)
+            model.forward_step(np.asarray([token]), paged,
+                               np.asarray([sid], dtype=np.int64))
+            paged.evict(sid)
+            with pytest.raises(ValueError, match="not live"):
+                model.forward_step(np.asarray([token]), paged,
+                                   np.asarray([sid], dtype=np.int64))
 
 
 class TestDecisionPriorityOrdering:

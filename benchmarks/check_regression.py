@@ -42,7 +42,11 @@ DEFAULT_TOLERANCE = 0.5
 #: not rise above baseline / tolerance) — or a {"direction": ..., "gate": x}
 #: dict, where ``gate`` is the benchmark's own acceptance bound: a value the
 #: benchmark itself accepts is never flagged here, even when the committed
-#: baseline is much better than the gate.
+#: baseline is much better than the gate.  An {"exact": value} spec demands
+#: the fresh value equal ``value`` regardless of tolerance — used for the
+#: fault-tolerance counters that must stay identically zero (and health
+#: identically "healthy") in every fault-free perf run, so accidentally
+#: armed injection or silent quarantines fail the gate loudly.
 WATCHED: Dict[str, Dict[str, object]] = {
     "perf_inference.json": {
         "tokens_per_second.full_window": "higher",
@@ -58,22 +62,43 @@ WATCHED: Dict[str, Dict[str, object]] = {
         "ragged_prefill.speedup": "higher",
         "shared_prefix.speedup": "higher",
         "streaming.ratio": "higher",
+        "per_batch_size.16.failed": {"exact": 0},
+        "per_batch_size.16.faults_quarantined": {"exact": 0},
+        "per_batch_size.16.retries": {"exact": 0},
+        "per_batch_size.16.shed": {"exact": 0},
+        "per_batch_size.16.health": {"exact": "healthy"},
+        "shared_prefix.stats.health": {"exact": "healthy"},
     },
     "perf_serving_latency.json": {
         "one_shot_best_tokens_per_s": "higher",
         "chunked_best_tokens_per_s": "higher",
         "itl_p95_ratio": {"direction": "lower", "gate": 0.5},
         "throughput_ratio": {"direction": "higher", "gate": 0.9},
+        "one_shot.server_stats.failed": {"exact": 0},
+        "one_shot.server_stats.faults_quarantined": {"exact": 0},
+        "one_shot.server_stats.retries": {"exact": 0},
+        "one_shot.server_stats.shed": {"exact": 0},
+        "one_shot.server_stats.health": {"exact": "healthy"},
+        "chunked.server_stats.failed": {"exact": 0},
+        "chunked.server_stats.faults_quarantined": {"exact": 0},
+        "chunked.server_stats.retries": {"exact": 0},
+        "chunked.server_stats.shed": {"exact": 0},
+        "chunked.server_stats.health": {"exact": "healthy"},
     },
 }
 
 
-def extract(payload: Dict, dotted: str) -> float:
-    """Resolve a dotted path inside a nested results dict."""
+def extract_raw(payload: Dict, dotted: str):
+    """Resolve a dotted path inside a nested results dict (no cast)."""
     node = payload
     for key in dotted.split("."):
         node = node[key]
-    return float(node)
+    return node
+
+
+def extract(payload: Dict, dotted: str) -> float:
+    """Resolve a dotted path inside a nested results dict as a number."""
+    return float(extract_raw(payload, dotted))
 
 
 def compare_file(baseline: Dict, fresh: Dict, metrics: Dict[str, object],
@@ -81,6 +106,24 @@ def compare_file(baseline: Dict, fresh: Dict, metrics: Dict[str, object],
     """Return one human-readable line per regressed metric."""
     regressions = []
     for dotted, spec in metrics.items():
+        if isinstance(spec, dict) and "exact" in spec:
+            # Exactness gate (no baseline, no tolerance): fresh must equal
+            # the pinned value — supports non-numeric leaves like "healthy".
+            expected = spec["exact"]
+            try:
+                new = extract_raw(fresh, dotted)
+            except (KeyError, TypeError) as drift:
+                regressions.append(
+                    f"{name}: metric {dotted!r} unresolvable "
+                    f"({type(drift).__name__}: {drift}; schema drift counts "
+                    f"as a regression)")
+                continue
+            if new != expected:
+                regressions.append(
+                    f"{name}: {dotted} is {new!r}, expected exactly "
+                    f"{expected!r} (fault-free perf runs must not "
+                    f"quarantine/retry/shed)")
+            continue
         if isinstance(spec, str):
             direction, gate = spec, None
         else:

@@ -61,9 +61,30 @@ def test_gate_caps_relative_tolerance():
     assert len(bad) == 2
 
 
+def test_exact_spec_pins_fault_counters():
+    """{"exact": value} demands equality (numeric or string), ignoring both
+    the baseline and the tolerance — the fault-tolerance counters must stay
+    identically zero (health "healthy") in every fault-free perf run."""
+    baseline = {"stats": {"retries": 0, "health": "healthy"}}
+    metrics = {"stats.retries": {"exact": 0},
+               "stats.health": {"exact": "healthy"}}
+    ok = compare_file(baseline, {"stats": {"retries": 0, "health": "healthy"}},
+                      metrics, tolerance=0.5, name="x")
+    assert ok == []
+    bad = compare_file(baseline, {"stats": {"retries": 2, "health": "degraded"}},
+                       metrics, tolerance=0.5, name="x")
+    assert len(bad) == 2
+    assert "expected exactly 0" in bad[0]
+    assert "expected exactly 'healthy'" in bad[1]
+    # A missing counter is schema drift, same as the directional specs.
+    missing = compare_file(baseline, {"stats": {}}, metrics,
+                           tolerance=0.5, name="x")
+    assert all("unresolvable" in line for line in missing)
+
+
 def test_watched_metrics_exist_in_baselines():
     """Every watched dotted path resolves inside its committed baseline."""
-    from check_regression import BASELINES_DIR, extract
+    from check_regression import BASELINES_DIR, extract, extract_raw
     import json
 
     for name, metrics in WATCHED.items():
@@ -71,5 +92,9 @@ def test_watched_metrics_exist_in_baselines():
         assert path.exists(), f"missing committed baseline {path}"
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
-        for dotted in metrics:
-            extract(payload, dotted)  # raises KeyError on drift
+        for dotted, spec in metrics.items():
+            if isinstance(spec, dict) and "exact" in spec:
+                # Exact leaves may be non-numeric (e.g. health strings).
+                extract_raw(payload, dotted)  # raises KeyError on drift
+            else:
+                extract(payload, dotted)  # raises KeyError on drift

@@ -311,6 +311,12 @@ class PagedKVCache:
     :meth:`prepare_step`, so sharing is invisible to correctness.
     """
 
+    #: Optional chaos hook (``FaultInjector.fire``): called at the named
+    #: fault sites ``kv.admit`` / ``kv.extend`` before any pool mutation, so
+    #: an injected fault never leaves partially-admitted state behind.  None
+    #: (the class default) costs one attribute check per call.
+    fault_hook = None
+
     def __init__(self, num_layers: int, max_blocks: int,
                  block_size: int = DEFAULT_BLOCK_SIZE) -> None:
         if num_layers < 1:
@@ -421,6 +427,8 @@ class PagedKVCache:
         table by reference (see :meth:`admit`).  Returns the session ids in
         row order.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("kv.admit")
         if cache.num_layers != self.num_layers:
             raise ValueError(
                 f"session cache has {cache.num_layers} layers but the paged "
@@ -506,6 +514,8 @@ class PagedKVCache:
         copy-on-write split before the chunk lands in it, exactly as
         :meth:`prepare_step` does for decode writes.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("kv.extend")
         if session_id not in self._tables:
             raise ValueError(f"session {session_id} is not live")
         if cache.num_layers != self.num_layers:

@@ -13,6 +13,21 @@ and a shared prompt-prefix cache (:class:`PrefixCache`), a priority-aware
 continuous-batching scheduler, and the :class:`InferenceServer` facade with a
 queue-level metrics surface (tokens/s, p50/p95 latency per priority class,
 batch occupancy, block occupancy, prefix hits, cancelled/expired counts).
+
+**Fault tolerance**: the engine is fault-isolated and self-healing.  A
+failure in one phase of a step is *quarantined* to the requests it
+implicates — their KV blocks are reclaimed, the pool is re-proven sound, and
+only those handles fail with :class:`RequestFailed` (original error chained)
+while serving continues.  Transient failures retry under
+:class:`RetryPolicy` (bounded attempts, exponential backoff, original queue
+aging); overload sheds new submissions with :class:`ServerOverloaded`;
+``server.health`` and the fault counters on :class:`ServerStats` surface the
+state.  :mod:`repro.serve.faults` provides the deterministic
+:class:`FaultInjector` (gated behind the ``REPRO_FAULTS`` env toggle) whose
+named sites — ``runtime.execute_batch``, ``prefill.band``,
+``prefill.chunk``, ``decode.step``, ``decode.logits``, ``kv.admit``,
+``kv.extend``, ``prefix.seed`` — drive the chaos test suite through exactly
+the production quarantine paths.
 """
 
 from ..llm.generation import GenerationResult
@@ -24,7 +39,14 @@ from .clients import (
     serve_vp_predictions,
 )
 from .engine import InferenceServer, RequestHandle
-from .metrics import RequestMetrics, ServerStats
+from .faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    TransientFault,
+)
+from .metrics import RequestMetrics, ServerHealth, ServerStats
 from .prefix import PrefixCache, PrefixEntry
 from .requests import (
     PRIORITY_HIGH,
@@ -36,23 +58,28 @@ from .requests import (
     DecisionRequest,
     GenerateRequest,
     RequestCancelled,
+    RequestFailed,
+    ServerOverloaded,
     VPResult,
 )
 from .runtimes import ABRRuntime, CJSRuntime, TaskRuntime, VPRuntime, build_runtime
-from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
+from .scheduler import ContinuousBatchingScheduler, RetryPolicy, SchedulerPolicy
 from .session import GenerationSession, SessionManager
 
 __all__ = [
     "GenerateRequest", "DecisionRequest",
     "GenerationResult", "VPResult", "ABRResult", "CJSResult",
     "RequestCancelled", "DeadlineExceeded",
+    "RequestFailed", "ServerOverloaded",
     "PRIORITY_LOW", "PRIORITY_NORMAL", "PRIORITY_HIGH",
     "TaskRuntime", "VPRuntime", "ABRRuntime", "CJSRuntime", "build_runtime",
-    "ContinuousBatchingScheduler", "SchedulerPolicy",
+    "ContinuousBatchingScheduler", "SchedulerPolicy", "RetryPolicy",
     "GenerationSession", "SessionManager",
     "PrefixCache", "PrefixEntry",
+    "FaultInjector", "FaultSpec", "InjectedFault", "TransientFault",
+    "FAULT_SITES",
     "InferenceServer", "RequestHandle",
-    "RequestMetrics", "ServerStats",
+    "RequestMetrics", "ServerStats", "ServerHealth",
     "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",
     "ServedVPPredictor", "serve_vp_predictions",
 ]

@@ -27,6 +27,23 @@ carry a ``priority`` class (admitted first, aged against starvation) and a
 relative ``deadline_s`` (expiry fails the handle with
 :class:`~repro.serve.requests.DeadlineExceeded`, in-queue or mid-decode).
 
+**Failure semantics** (fault isolation, not fail-all): an exception in one
+phase of a step is *quarantined* to the requests it implicates — the
+sessions of the failed decode batch, the sessions of the failed prefill
+band/chunk, or the entries of the failed decision group.  Their blocks are
+evicted and reclaimed, :meth:`~repro.nn.PagedKVCache.check_invariants`
+proves the pool is still sound, and only those handles fail (with
+:class:`~repro.serve.requests.RequestFailed` carrying the original error)
+while the loop keeps serving everything else.  Transient failures are
+retried under ``SchedulerPolicy.retry_policy`` (bounded attempts,
+exponential backoff, original queue aging).  Only a violated pool invariant
+escalates to the fail-all crash guard, marking the server ``FAILED``.
+Under overload, ``shed_queue_depth``/``shed_queue_age_s`` shed new
+submissions with :class:`~repro.serve.requests.ServerOverloaded` instead of
+letting the queue drown the in-flight work; ``server.health`` summarizes
+all of this as HEALTHY/DEGRADED/FAILED.  Deterministic chaos testing hooks
+into the same paths via :mod:`repro.serve.faults`.
+
 The engine can be driven synchronously (``step()`` / ``run_until_idle()`` /
 ``handle.result()``) or by a background thread (``start()`` / ``stop()``, or
 the context manager), which lets independent client threads — e.g. a VP
@@ -50,10 +67,14 @@ from collections import deque
 from typing import Any, Deque, Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
 from ..llm import LanguageModel
+from .faults import FaultInjector
 from .metrics import (
     OUTCOME_CANCELLED,
     OUTCOME_EXPIRED,
+    OUTCOME_FAILED,
+    OUTCOME_SHED,
     RequestMetrics,
+    ServerHealth,
     ServerStats,
 )
 from .requests import (
@@ -61,6 +82,8 @@ from .requests import (
     DecisionRequest,
     GenerateRequest,
     RequestCancelled,
+    RequestFailed,
+    ServerOverloaded,
 )
 from .runtimes import TaskRuntime, build_runtime
 from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
@@ -220,6 +243,8 @@ class _PendingDecision:
     request: DecisionRequest
     group_key: Hashable = ()
     deadline_at: Optional[float] = None
+    #: Retry backoff: not flushed before this time (None: immediately).
+    retry_at: Optional[float] = None
 
     def is_expired(self, now: float) -> bool:
         return self.deadline_at is not None and now > self.deadline_at
@@ -242,21 +267,31 @@ class InferenceServer:
     runtimes:
         Optional mapping of task name to a :class:`TaskRuntime`
         implementation, for novel tasks beyond the built-ins.
+    fault_injector:
+        Optional seeded :class:`~repro.serve.faults.FaultInjector` wired
+        through the session manager and paged pool (chaos testing only;
+        constructing one requires the ``REPRO_FAULTS`` env toggle).
     """
+
+    #: Seconds ``stop()`` waits for the loop thread before declaring a leak.
+    JOIN_TIMEOUT_S = 5.0
 
     def __init__(self, model: Optional[LanguageModel] = None,
                  policy: Optional[SchedulerPolicy] = None,
                  adapters: Optional[Dict[str, Any]] = None,
-                 runtimes: Optional[Dict[str, TaskRuntime]] = None) -> None:
+                 runtimes: Optional[Dict[str, TaskRuntime]] = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         self.policy = policy or SchedulerPolicy()
         self.model = model
+        self._faults = fault_injector
         self._manager = (SessionManager(model, max_slots=self.policy.max_batch_size,
                                         max_context=self.policy.max_context,
                                         block_size=self.policy.block_size,
                                         prefill_padding=self.policy.prefill_padding,
                                         ragged_prefill=self.policy.ragged_prefill,
                                         prefix_cache=self.policy.enable_prefix_cache,
-                                        max_prefixes=self.policy.max_prefixes)
+                                        max_prefixes=self.policy.max_prefixes,
+                                        fault_injector=fault_injector)
                          if model is not None else None)
         self._scheduler = ContinuousBatchingScheduler(self.policy)
         self._runtimes: Dict[str, TaskRuntime] = {}
@@ -273,6 +308,12 @@ class InferenceServer:
         self._last_finished_at: Optional[float] = None
         self._thread: Optional[threading.Thread] = None
         self._running = False
+        # Fault-tolerance bookkeeping (all under self._lock).
+        self._faults_quarantined = 0
+        self._retries = 0
+        self._shed = 0
+        self._crashed = False
+        self._last_fault_at: Optional[float] = None
         for task, adapter in (adapters or {}).items():
             self.register_adapter(task, adapter)
         for task, runtime in (runtimes or {}).items():
@@ -385,9 +426,14 @@ class InferenceServer:
                 tokenizer.decode([token_id]))
         with self._work:
             self._note_submission()
+            overload = self._overload_reason()
+            if overload is not None:
+                self._shed_request(handle, session, overload)
+                return handle
             if not self._scheduler.enqueue(session):
-                handle._fail(RuntimeError(
-                    f"request queue full ({self.policy.max_queue}); retry later"))
+                self._shed_request(handle, session, (
+                    f"request queue full ({self.policy.max_queue}); "
+                    f"retry later"))
                 return handle
             self._queued_generation[request_id] = handle
             self._work.notify_all()
@@ -419,6 +465,10 @@ class InferenceServer:
                          else metrics.submitted_at + request.deadline_s))
         with self._work:
             self._note_submission()
+            overload = self._overload_reason()
+            if overload is not None:
+                self._shed_request(handle, None, overload)
+                return handle
             self._pending_decisions.setdefault(request.task, []).append(pending)
             self._work.notify_all()
         return handle
@@ -427,6 +477,69 @@ class InferenceServer:
         if self._manager is None:
             raise ValueError("this server has no language model; "
                              "construct it with model=... to serve generation")
+
+    # ------------------------------------------------------------------ #
+    # Overload shedding and health
+    # ------------------------------------------------------------------ #
+    def _overload_reason(self) -> Optional[str]:
+        """Why a new submission should be shed right now (lock held).
+
+        ``None`` means the engine is accepting.  Depth counts everything
+        waiting (generation queue + pending decisions); age looks at the
+        oldest admissible waiter — both are the signals past which admitting
+        more work only pushes every queued request past its deadline.
+        """
+        policy = self.policy
+        if policy.shed_queue_depth is not None:
+            depth = self._scheduler.queue_depth + sum(
+                len(v) for v in self._pending_decisions.values())
+            if depth >= policy.shed_queue_depth:
+                return (f"queue depth {depth} at the shed bound "
+                        f"{policy.shed_queue_depth}")
+        if policy.shed_queue_age_s is not None:
+            oldest = self._scheduler.oldest_wait_s()
+            if oldest > policy.shed_queue_age_s:
+                return (f"oldest queued request has waited {oldest:.3f}s, "
+                        f"past the shed bound {policy.shed_queue_age_s}s")
+        return None
+
+    def _shed_request(self, handle: RequestHandle,
+                      session: Optional[GenerationSession],
+                      reason: str) -> None:
+        """Reject a submission under overload (lock held)."""
+        self._shed += 1
+        if session is not None:
+            session.state = FAILED
+        handle.metrics.outcome = OUTCOME_SHED
+        handle.metrics.mark_finished()
+        self._completed.append(handle.metrics)
+        handle._fail(ServerOverloaded(
+            f"request {handle.request_id} ({handle.task}) shed: {reason}"))
+
+    @property
+    def health(self) -> str:
+        """Coarse engine health (see :class:`~repro.serve.metrics.ServerHealth`).
+
+        ``FAILED`` once an unrecoverable fault tore the loop down;
+        ``DEGRADED`` while the engine is shedding load or within
+        ``health_window_s`` of a quarantined fault or retry; ``HEALTHY``
+        otherwise.
+        """
+        with self._lock:
+            if self._crashed:
+                return ServerHealth.FAILED
+            if self._overload_reason() is not None:
+                return ServerHealth.DEGRADED
+            if (self._last_fault_at is not None
+                    and time.perf_counter() - self._last_fault_at
+                    < self.policy.health_window_s):
+                return ServerHealth.DEGRADED
+            return ServerHealth.HEALTHY
+
+    def _note_fault(self) -> None:
+        """Count one quarantine event (lock held)."""
+        self._faults_quarantined += 1
+        self._last_fault_at = time.perf_counter()
 
     # ------------------------------------------------------------------ #
     # Lifecycle: cancellation and deadlines
@@ -500,21 +613,39 @@ class InferenceServer:
         """One scheduling round: admit, batched decode, flush decisions.
 
         Returns True when any work was performed (so drivers can loop until
-        the engine goes idle).
+        the engine goes idle).  Per-phase failures are quarantined to the
+        implicated requests inside the phases; an exception escaping a phase
+        (e.g. pool invariants violated after a quarantine) is unrecoverable —
+        everything pending fails with it, the server turns ``FAILED`` and
+        the error propagates to the driver.
         """
         with self._lock:
-            did_work = False
-            did_work |= self._reap_expired_queued()
-            did_work |= self._admit_queued()
-            did_work |= self._reap_expired_running()
-            did_work |= self._decode_step()
-            did_work |= self._flush_decisions()
-            return did_work
+            try:
+                did_work = False
+                did_work |= self._reap_expired_queued()
+                did_work |= self._admit_queued()
+                did_work |= self._reap_expired_running()
+                did_work |= self._decode_step()
+                did_work |= self._flush_decisions()
+                return did_work
+            except BaseException as error:
+                self._crashed = True
+                self._fail_all_pending(error)
+                raise
 
     def run_until_idle(self) -> None:
-        """Drive the engine synchronously until no work remains."""
-        while self.step():
-            pass
+        """Drive the engine synchronously until no work remains.
+
+        Parks briefly when the only remaining work is a retry backoff that
+        has not elapsed yet, so retried requests still complete.
+        """
+        while True:
+            if self.step():
+                continue
+            wake = self._next_retry_at()
+            if wake is None:
+                return
+            time.sleep(min(max(wake - time.perf_counter(), 0.0), 0.05))
 
     @property
     def is_serving(self) -> bool:
@@ -565,9 +696,18 @@ class InferenceServer:
         with self._work:
             self._running = False
             self._work.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.JOIN_TIMEOUT_S)
+            if thread.is_alive():
+                # The loop thread is wedged (very likely holding the engine
+                # lock), so the fail-everything path below could deadlock —
+                # raise loudly instead of silently leaking a live thread
+                # whose pending handles may never resolve.
+                raise RuntimeError(
+                    f"serve loop thread {thread.name!r} did not exit within "
+                    f"{self.JOIN_TIMEOUT_S}s of stop(); leaking it — pending "
+                    f"handles may hang and the engine must not be reused")
         if self.has_pending_work() or self._pending_generation:
             self._fail_all_pending(RuntimeError(
                 "server stopped before completing this request"))
@@ -619,7 +759,12 @@ class InferenceServer:
             if self._manager is not None:
                 for session in (list(self._manager.running.values())
                                 + list(self._manager.prefilling.values())):
-                    self._manager.evict(session, reason="failed")
+                    try:
+                        self._manager.evict(session, reason="failed")
+                    except Exception:
+                        # A corrupted pool must not mask the original error:
+                        # every remaining handle still fails with it below.
+                        pass
                     session.state = FAILED
                     self._finish_generation(session, error=error)
             for session_id in list(self._pending_generation):
@@ -636,11 +781,15 @@ class InferenceServer:
         while not handle.done():
             if deadline is not None and time.perf_counter() > deadline:
                 return
-            if not self.step():
-                if not handle.done():
-                    handle._fail(RuntimeError(
-                        f"request {handle.request_id} cannot complete: engine is idle"))
+            if self.step() or handle.done():
+                continue
+            wake = self._next_retry_at()
+            if wake is None:
+                handle._fail(RuntimeError(
+                    f"request {handle.request_id} cannot complete: engine is idle"))
                 return
+            # Idle only until a retry backoff elapses: park, then step again.
+            time.sleep(min(max(wake - time.perf_counter(), 0.0), 0.05))
 
     def _pump(self, handle: RequestHandle) -> bool:
         """One drive round for a blocked ``stream()`` consumer.
@@ -656,8 +805,13 @@ class InferenceServer:
                 and threading.current_thread() is not self._thread:
             return False
         if not self.step() and not handle.done():
-            handle._fail(RuntimeError(
-                f"request {handle.request_id} cannot complete: engine is idle"))
+            wake = self._next_retry_at()
+            if wake is None:
+                handle._fail(RuntimeError(
+                    f"request {handle.request_id} cannot complete: "
+                    f"engine is idle"))
+            else:
+                time.sleep(min(max(wake - time.perf_counter(), 0.0), 0.05))
         return True
 
     # ------------------------------------------------------------------ #
@@ -696,8 +850,7 @@ class InferenceServer:
                 try:
                     self._manager.admit(session)
                 except Exception as error:
-                    session.state = FAILED
-                    self._finish_generation(session, error=error)
+                    self._quarantine_sessions([session], error, phase="prefill")
         for session in admitted:
             if session.state == FINISHED:  # e.g. EOS sampled from prefill
                 self._finish_generation(session)
@@ -734,7 +887,9 @@ class InferenceServer:
         for session in terminal:
             self._finish_generation(session)
         for session, error in failures:
-            self._finish_generation(session, error=error)
+            # The manager already aborted the session (abort is idempotent);
+            # quarantine re-verifies the pool and retries-or-fails the handle.
+            self._quarantine_sessions([session], error, phase="prefill chunk")
         # Budget ran dry before these admissions' first token: put them back
         # at the head of the priority queue with their original wait intact,
         # so aging and FIFO ordering continue as if they had never left.
@@ -749,13 +904,162 @@ class InferenceServer:
     def _decode_step(self) -> bool:
         if self._manager is None or self._manager.num_running == 0:
             return False
-        completed, occupancy = self._manager.step()
+        batch = list(self._manager.running.values())
+        try:
+            completed, occupancy = self._manager.step()
+        except Exception as error:
+            # The whole decode batch is implicated: a mid-forward failure may
+            # have left any of its rows with partially-committed KV state.
+            self._quarantine_sessions(batch, error, phase="decode step")
+            return True
         if occupancy:
             self._scheduler.record_step(
                 occupancy, blocks_in_use=self._manager.cache.blocks_in_use)
         for session in completed:
             self._finish_generation(session)
         return True
+
+    # ------------------------------------------------------------------ #
+    # Fault quarantine and retries (called with the lock held)
+    # ------------------------------------------------------------------ #
+    def _quarantine_sessions(self, sessions: List[GenerationSession],
+                             error: BaseException, phase: str) -> None:
+        """Contain a phase failure to the sessions it implicates.
+
+        Evict-first, check-second: the implicated sessions' blocks (possibly
+        holding partially-committed state) are reclaimed *before*
+        ``check_invariants`` judges the pool, so a clean quarantine leaves a
+        provably sound pool and the loop keeps serving.  A violated invariant
+        means the fault corrupted shared state — that escalates (raises) into
+        the fail-all crash guard in :meth:`step`.
+        """
+        self._note_fault()
+        for session in sessions:
+            self._manager.abort(session)
+        self._verify_pool_sound(error)
+        now = time.perf_counter()
+        for session in sessions:
+            self._resolve_failed_session(session, error, phase, now)
+
+    def _verify_pool_sound(self, error: BaseException) -> None:
+        """Prove the KV pool survived a quarantine; escalate if it did not."""
+        manager = self._manager
+        if manager is None:
+            return
+        prefix = manager.prefix
+        try:
+            manager.cache.check_invariants(
+                external_refs=prefix.external_refs() if prefix is not None
+                else None)
+        except AssertionError as violation:
+            raise RuntimeError(
+                f"unrecoverable fault: KV-pool invariants violated after "
+                f"quarantine ({violation}); original error: {error}") from error
+
+    def _resolve_failed_session(self, session: GenerationSession,
+                                error: BaseException, phase: str,
+                                now: float) -> None:
+        """Retry a quarantined session if policy allows, else fail its handle."""
+        policy = self.policy.retry_policy
+        handle = self._pending_generation.get(session.session_id)
+        streamed = (handle is not None
+                    and session.metrics.first_token_at is not None
+                    and handle._stream is not None)
+        if (policy is not None and policy.is_retryable(error)
+                and session.metrics.attempts < policy.max_attempts
+                and not streamed and not session.is_expired(now)):
+            self._retry_generation(session, now)
+            return
+        session.state = FAILED
+        handle = self._pending_generation.pop(session.session_id, None)
+        session.metrics.outcome = OUTCOME_FAILED
+        session.metrics.mark_finished()
+        self._completed.append(session.metrics)
+        self._last_finished_at = time.perf_counter()
+        if handle is not None:
+            handle._fail(RequestFailed(
+                f"request {session.session_id} (generate) failed during "
+                f"{phase}: {error}", cause=error))
+
+    def _retry_generation(self, session: GenerationSession, now: float) -> None:
+        """Re-enqueue a quarantined session for another attempt.
+
+        The session restarts from scratch (its KV state was evicted by the
+        quarantine) but keeps its original ``submitted_at``, so priority
+        aging continues as if it had never been admitted.
+        """
+        policy = self.policy.retry_policy
+        session.metrics.attempts += 1
+        self._retries += 1
+        # Reset execution state back to a fresh submission.
+        session.state = QUEUED
+        session.slot = None
+        session.prompt_ids = []
+        session.prompt_pos = 0
+        session.prefill_cache = None
+        session.prefix_entry = None
+        session.generated = []
+        session.stopped_by_eos = False
+        session.finish_reason = None
+        session.num_inferences = 0
+        session._rng = None
+        session._last_step_at = None
+        metrics = session.metrics
+        metrics.admitted_at = None
+        metrics.first_token_at = None
+        metrics.token_seconds = []
+        metrics.batch_sizes = []
+        metrics.tokens_generated = 0
+        metrics.prefix_tokens = 0
+        failures = session.metrics.attempts - 1
+        backoff = policy.backoff_for(failures)
+        session.retry_at = (now + backoff) if backoff > 0 else None
+        self._scheduler.requeue_front(session)
+        handle = self._pending_generation.pop(session.session_id, None)
+        if handle is not None:
+            self._queued_generation[session.session_id] = handle
+
+    def _quarantine_decision_group(self, task: str,
+                                   group: List[_PendingDecision],
+                                   error: BaseException) -> None:
+        """Contain a decision-batch failure to that group's entries.
+
+        Runtimes never touch the KV pool, so no invariant check is needed —
+        the blast radius is exactly the batched entries, each retried under
+        the retry policy or failed with :class:`RequestFailed`.
+        """
+        self._note_fault()
+        policy = self.policy.retry_policy
+        now = time.perf_counter()
+        for entry in group:
+            metrics = entry.handle.metrics
+            if (policy is not None and policy.is_retryable(error)
+                    and metrics.attempts < policy.max_attempts
+                    and not entry.is_expired(now)):
+                metrics.attempts += 1
+                self._retries += 1
+                backoff = policy.backoff_for(metrics.attempts - 1)
+                entry.retry_at = (now + backoff) if backoff > 0 else None
+                self._pending_decisions.setdefault(task, []).append(entry)
+                continue
+            metrics.outcome = OUTCOME_FAILED
+            metrics.mark_finished()
+            self._completed.append(metrics)
+            entry.handle._fail(RequestFailed(
+                f"request {entry.handle.request_id} ({task}) decision batch "
+                f"failed: {error}", cause=error))
+
+    def _next_retry_at(self) -> Optional[float]:
+        """Earliest pending retry wake-up across both queues (None: no retries)."""
+        with self._lock:
+            candidates: List[float] = []
+            queued = self._scheduler.next_retry_at()
+            if queued is not None:
+                candidates.append(queued)
+            for pending in self._pending_decisions.values():
+                candidates.extend(e.retry_at for e in pending
+                                  if e.retry_at is not None)
+            return min(candidates) if candidates else None
 
     def _finish_generation(self, session: GenerationSession,
                            error: Optional[BaseException] = None) -> None:
@@ -778,12 +1082,20 @@ class InferenceServer:
             pending = self._pending_decisions.get(task)
             if not pending:
                 continue
-            self._pending_decisions[task] = []
+            # Retry-parked entries stay queued until their backoff elapses.
+            eligible = [e for e in pending
+                        if e.retry_at is None or e.retry_at <= now]
+            waiting = [e for e in pending
+                       if e.retry_at is not None and e.retry_at > now]
+            self._pending_decisions[task] = waiting
+            if not eligible:
+                continue
             groups: Dict[Hashable, List[_PendingDecision]] = {}
-            for entry in pending:
+            for entry in eligible:
                 if entry.is_expired(now):
                     self._expire(entry.handle, "while queued")
                     continue
+                entry.retry_at = None
                 groups.setdefault(entry.group_key, []).append(entry)
             ready.extend((task, group) for group in groups.values())
             did_work = True
@@ -803,15 +1115,16 @@ class InferenceServer:
             entry.handle.metrics.mark_admitted()
             entry.handle.metrics.batch_sizes.append(len(group))
         try:
+            if self._faults is not None:
+                self._faults.fire("runtime.execute_batch")
             results = runtime.execute_batch([entry.request for entry in group])
             if len(results) != len(group):
                 raise RuntimeError(
                     f"task runtime {task!r} returned {len(results)} results "
                     f"for a batch of {len(group)}")
         except Exception as error:
-            for entry in group:
-                entry.handle.metrics.mark_finished()
-                entry.handle._fail(error)
+            # Blast radius: exactly this decision batch (see satellite test).
+            self._quarantine_decision_group(task, group, error)
             return
         self._last_finished_at = time.perf_counter()
         for entry, result in zip(group, results):
@@ -842,4 +1155,8 @@ class InferenceServer:
                 prefix_hits=prefix.hits if prefix is not None else 0,
                 prefix_misses=prefix.misses if prefix is not None else 0,
                 prefix_tokens_reused=(prefix.tokens_reused
-                                      if prefix is not None else 0))
+                                      if prefix is not None else 0),
+                faults_quarantined=self._faults_quarantined,
+                retries=self._retries,
+                shed=self._shed,
+                health=self.health)

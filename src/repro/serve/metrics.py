@@ -19,6 +19,24 @@ from ..utils import percentile
 OUTCOME_OK = "ok"
 OUTCOME_CANCELLED = "cancelled"
 OUTCOME_EXPIRED = "expired"
+OUTCOME_FAILED = "failed"  # quarantined after a fault (RequestFailed)
+OUTCOME_SHED = "shed"      # rejected at submission under overload
+
+
+class ServerHealth:
+    """Coarse engine health surfaced through ``ServerStats.health``.
+
+    ``HEALTHY``: serving normally.  ``DEGRADED``: still serving, but the
+    engine recently quarantined a fault or retried a request (within
+    ``SchedulerPolicy.health_window_s``), or is currently shedding load.
+    ``FAILED``: the serve loop escalated an unrecoverable fault (pool
+    invariants violated) and failed everything pending — the state a replica
+    manager reads to trigger failover.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 @dataclass
@@ -28,8 +46,11 @@ class RequestMetrics:
     task: str
     priority: int = 0
     #: How the request ended: completed (``"ok"``), ``handle.cancel()``-ed
-    #: (``"cancelled"``) or past its ``deadline_s`` (``"expired"``).
+    #: (``"cancelled"``), past its ``deadline_s`` (``"expired"``),
+    #: fault-quarantined (``"failed"``) or overload-rejected (``"shed"``).
     outcome: str = OUTCOME_OK
+    #: Execution attempts so far (1 = first attempt; bumped per retry).
+    attempts: int = 1
     submitted_at: float = field(default_factory=time.perf_counter)
     admitted_at: Optional[float] = None
     first_token_at: Optional[float] = None
@@ -147,6 +168,16 @@ class ServerStats:
     prefix_hits: int = 0
     prefix_misses: int = 0
     prefix_tokens_reused: int = 0
+    #: Fault-tolerance counters: requests that ended fault-quarantined,
+    #: quarantine events contained without crashing the loop, retry
+    #: re-enqueues, and submissions shed under overload.  All stay zero in a
+    #: fault-free run — the perf regression gate pins that.
+    failed: int = 0
+    faults_quarantined: int = 0
+    retries: int = 0
+    shed: int = 0
+    #: Engine health at report time (see :class:`ServerHealth`).
+    health: str = ServerHealth.HEALTHY
 
     @property
     def block_occupancy(self) -> float:
@@ -162,7 +193,10 @@ class ServerStats:
                       block_usage_samples: List[int] = (),
                       block_capacity: int = 0,
                       prefix_hits: int = 0, prefix_misses: int = 0,
-                      prefix_tokens_reused: int = 0) -> "ServerStats":
+                      prefix_tokens_reused: int = 0,
+                      faults_quarantined: int = 0, retries: int = 0,
+                      shed: int = 0,
+                      health: str = ServerHealth.HEALTHY) -> "ServerStats":
         terminal = [r for r in requests if r.finished_at is not None]
         finished = [r for r in terminal if r.outcome == OUTCOME_OK]
         tokens = sum(r.tokens_generated for r in finished)
@@ -209,6 +243,11 @@ class ServerStats:
             prefix_hits=prefix_hits,
             prefix_misses=prefix_misses,
             prefix_tokens_reused=prefix_tokens_reused,
+            failed=sum(r.outcome == OUTCOME_FAILED for r in terminal),
+            faults_quarantined=faults_quarantined,
+            retries=retries,
+            shed=shed,
+            health=health,
         )
 
     def report(self) -> Dict[str, object]:
@@ -240,4 +279,9 @@ class ServerStats:
             "prefix_hits": self.prefix_hits,
             "prefix_misses": self.prefix_misses,
             "prefix_tokens_reused": self.prefix_tokens_reused,
+            "failed": self.failed,
+            "faults_quarantined": self.faults_quarantined,
+            "retries": self.retries,
+            "shed": self.shed,
+            "health": self.health,
         }

@@ -24,6 +24,13 @@ Every request carries the cross-cutting lifecycle fields:
 Cancellation (:meth:`~repro.serve.engine.RequestHandle.cancel`) fails the
 handle with :class:`RequestCancelled` and likewise releases resources
 immediately.
+
+Two further typed failures complete the lifecycle surface:
+:class:`RequestFailed` (the engine quarantined this request after a fault in
+its prefill/decode/decision phase — the original error rides along as
+``cause``) and :class:`ServerOverloaded` (the request was shed at submission
+because the queue was full, too deep or too old; see the shedding knobs on
+:class:`~repro.serve.scheduler.SchedulerPolicy`).
 """
 
 from __future__ import annotations
@@ -46,6 +53,37 @@ class RequestCancelled(RuntimeError):
 
 class DeadlineExceeded(TimeoutError):
     """The request's ``deadline_s`` elapsed before it could complete."""
+
+
+class RequestFailed(RuntimeError):
+    """The request was quarantined after a fault in one of its serving phases.
+
+    Raised by ``handle.result()``/``stream()`` when the engine contained a
+    fault (prefill, decode or decision-batch failure) to the implicated
+    requests instead of crashing the serve loop.  ``cause`` (also chained as
+    ``__cause__``) carries the original error; the quarantine already
+    reclaimed the request's KV blocks and proved the pool sound, so the
+    engine keeps serving everything else.
+    """
+
+    def __init__(self, message: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class ServerOverloaded(RuntimeError):
+    """The engine shed this request at submission to protect those in flight.
+
+    Raised by ``handle.result()`` when the waiting queue was full, deeper
+    than ``SchedulerPolicy.shed_queue_depth``, or older than
+    ``shed_queue_age_s`` at submission time.  Shedding at the door is the
+    backpressure signal a load balancer in front of the engine consumes —
+    rejected work costs nothing, whereas admitting it would push every
+    queued request past its deadline.
+    """
 
 
 def _validate_lifecycle(priority: int, deadline_s: Optional[float]) -> None:

@@ -16,10 +16,61 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple, Type
 
 from ..nn import DEFAULT_BLOCK_SIZE
 from .session import GenerationSession
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-execution of transiently-failed requests.
+
+    ``max_attempts`` counts *executions* (first attempt included), so the
+    default of 2 means one retry.  An error is retryable when it carries a
+    truthy ``transient`` attribute (e.g.
+    :class:`~repro.serve.faults.TransientFault`) or is an instance of one of
+    the ``retry_on`` exception types — everything else fails the request
+    immediately with :class:`~repro.serve.requests.RequestFailed`.  Retried
+    generation sessions re-enter the queue at the *front* with their
+    original submission time (priority aging and deadlines carry over), and
+    ``backoff_for`` spaces attempts exponentially:
+    ``backoff_s * backoff_multiplier ** (failures - 1)`` seconds after the
+    ``failures``-th failure.
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    retry_on: Tuple[Type[BaseException], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts counts executions, so it must be >= 1; "
+                f"got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_multiplier < 1:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1 (exponential spacing), "
+                f"got {self.backoff_multiplier}")
+        for exc in self.retry_on:
+            if not (isinstance(exc, type) and issubclass(exc, BaseException)):
+                raise TypeError(
+                    f"retry_on entries must be exception types, got {exc!r}")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` classifies as transient under this policy."""
+        if self.retry_on and isinstance(error, self.retry_on):
+            return True
+        return bool(getattr(error, "transient", False))
+
+    def backoff_for(self, failures: int) -> float:
+        """Seconds to park before the attempt after the N-th failure."""
+        if self.backoff_s <= 0 or failures < 1:
+            return 0.0
+        return self.backoff_s * self.backoff_multiplier ** (failures - 1)
 
 
 @dataclass(frozen=True)
@@ -72,6 +123,18 @@ class SchedulerPolicy:
     chunked per session when ``prefill_chunk_size`` is set).  Setting a
     budget requires ``prefill_chunk_size`` — the budget is spent in chunk
     grants.
+
+    **Fault tolerance / graceful degradation**:
+
+    ``retry_policy`` re-enqueues transiently-failed requests (see
+    :class:`RetryPolicy`); ``None`` (default) fails them on the first fault.
+    ``shed_queue_depth`` / ``shed_queue_age_s`` shed *new* submissions with
+    :class:`~repro.serve.requests.ServerOverloaded` once the waiting queue
+    (generation + pending decisions) reaches that depth / once its oldest
+    waiter exceeds that age — admitting more work past either bound only
+    pushes everything queued past its deadline.  ``health_window_s`` is how
+    long after a quarantined fault or retry the engine still reports
+    ``DEGRADED`` health (see :class:`~repro.serve.metrics.ServerHealth`).
     """
 
     max_batch_size: int = 16
@@ -85,6 +148,10 @@ class SchedulerPolicy:
     max_prefixes: int = 8
     prefill_chunk_size: Optional[int] = None
     step_token_budget: Optional[int] = None
+    retry_policy: Optional[RetryPolicy] = None
+    shed_queue_depth: Optional[int] = None
+    shed_queue_age_s: Optional[float] = None
+    health_window_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -128,6 +195,22 @@ class SchedulerPolicy:
                     f"whole number of KV blocks")
         if self.max_queue is not None and self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.retry_policy is not None \
+                and not isinstance(self.retry_policy, RetryPolicy):
+            raise TypeError(
+                f"retry_policy must be a RetryPolicy (or None), got "
+                f"{type(self.retry_policy).__name__}")
+        if self.shed_queue_depth is not None and self.shed_queue_depth < 1:
+            raise ValueError(
+                f"shed_queue_depth must be >= 1 (or None to disable "
+                f"depth-based shedding), got {self.shed_queue_depth}")
+        if self.shed_queue_age_s is not None and self.shed_queue_age_s <= 0:
+            raise ValueError(
+                f"shed_queue_age_s must be positive seconds (or None to "
+                f"disable age-based shedding), got {self.shed_queue_age_s}")
+        if self.health_window_s < 0:
+            raise ValueError(
+                f"health_window_s must be >= 0, got {self.health_window_s}")
 
 
 @dataclass
@@ -220,19 +303,51 @@ class ContinuousBatchingScheduler:
         """Pop the sessions to admit into the freed slots.
 
         Highest effective priority class first; FIFO (submission order)
-        within a class.
+        within a class.  Sessions parked for retry backoff
+        (``session.retry_at`` in the future) are not eligible until their
+        backoff elapses.
         """
-        grant = min(free_slots, len(self._queue))
-        if grant <= 0:
+        if free_slots <= 0 or not self._queue:
             return []
         now = time.perf_counter() if now is None else now
-        ranked = sorted(self._queue,
+        eligible = [e for e in self._queue
+                    if e.session.retry_at is None or e.session.retry_at <= now]
+        grant = min(free_slots, len(eligible))
+        if grant <= 0:
+            return []
+        ranked = sorted(eligible,
                         key=lambda e: (-self.effective_priority(e, now), e.seq))
         chosen = ranked[:grant]
         taken = {id(entry) for entry in chosen}
         self._queue = [entry for entry in self._queue if id(entry) not in taken]
         self.admitted_total += len(chosen)
+        for entry in chosen:
+            entry.session.retry_at = None
         return [entry.session for entry in chosen]
+
+    def oldest_wait_s(self, now: Optional[float] = None) -> float:
+        """Seconds the oldest admissible queued session has been waiting.
+
+        Feeds age-based load shedding.  Sessions parked for retry backoff
+        are excluded — they wait on purpose, and counting them would make
+        one retried straggler shed all fresh traffic.
+        """
+        if not self._queue:
+            return 0.0
+        now = time.perf_counter() if now is None else now
+        waits = [now - e.enqueued_at for e in self._queue
+                 if e.session.retry_at is None or e.session.retry_at <= now]
+        return max(waits) if waits else 0.0
+
+    def next_retry_at(self) -> Optional[float]:
+        """Earliest ``retry_at`` across parked sessions (None: none parked).
+
+        Idle drivers use this to sleep until backoff work becomes eligible
+        instead of declaring the engine stuck.
+        """
+        times = [e.session.retry_at for e in self._queue
+                 if e.session.retry_at is not None]
+        return min(times) if times else None
 
     def reap_expired(self, now: Optional[float] = None) -> List[GenerationSession]:
         """Pop every queued session whose deadline has already passed."""

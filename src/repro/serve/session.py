@@ -8,6 +8,14 @@ prompt heads in by reference (:class:`~repro.serve.prefix.PrefixCache`),
 advances every running session with one batched ``forward_step`` per engine
 step, and evicts completed sessions so their blocks return to the pool —
 continuous batching over paged storage.
+
+Fault semantics: every failure path here releases the session's slot and
+blocks (:meth:`SessionManager.abort`) before surfacing the error, so the
+engine's quarantine can prove pool soundness afterwards.  The manager is
+also instrumented with the named fault-injection sites ``prefill.band``,
+``prefill.chunk``, ``decode.step``, ``decode.logits`` and ``prefix.seed``
+(see :mod:`repro.serve.faults`) — each a single ``is None`` check when no
+injector is wired in.
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ class GenerationSession:
     priority: int = 0
     #: Absolute ``time.perf_counter()`` completion deadline (None: none).
     deadline_at: Optional[float] = None
+    #: Retry backoff: not admissible before this time (None: immediately).
+    retry_at: Optional[float] = None
     state: str = QUEUED
     slot: Optional[int] = None
     prompt_ids: List[int] = field(default_factory=list)
@@ -130,7 +140,8 @@ class SessionManager:
                  prefill_padding: float = 0.5,
                  ragged_prefill: bool = True,
                  prefix_cache: bool = True,
-                 max_prefixes: int = 8) -> None:
+                 max_prefixes: int = 8,
+                 fault_injector: Optional[object] = None) -> None:
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         if prefill_padding < 0:
@@ -158,6 +169,11 @@ class SessionManager:
         #: Sessions mid chunked prefill, keyed by *request* session_id (they
         #: may not have a paged-cache slot yet).  They hold a batch slot.
         self.prefilling: Dict[int, GenerationSession] = {}
+        #: Optional seeded :class:`~repro.serve.faults.FaultInjector`; the
+        #: paged pool's ``kv.admit``/``kv.extend`` sites hook into it too.
+        self.faults = fault_injector
+        if fault_injector is not None:
+            self.cache.fault_hook = fault_injector.fire
 
     # ------------------------------------------------------------------ #
     @property
@@ -305,6 +321,8 @@ class SessionManager:
 
     def _admit_group(self, entry: Optional[PrefixEntry],
                      group: List[GenerationSession]) -> None:
+        if self.faults is not None:
+            self.faults.fire("prefill.band")
         head_len = entry.length if entry is not None else 0
         tails = [session.prompt_ids[head_len:] for session in group]
         lengths = [len(tail) for tail in tails]
@@ -318,8 +336,12 @@ class SessionManager:
             padded[row, :len(tail)] = tail
         shared = entry.block_ids if entry is not None else ()
         with no_grad():
-            prefill_cache = (self.prefix.seed_cache(entry, len(group))
-                             if entry is not None else self.model.init_cache())
+            if entry is not None:
+                if self.faults is not None:
+                    self.faults.fire("prefix.seed")
+                prefill_cache = self.prefix.seed_cache(entry, len(group))
+            else:
+                prefill_cache = self.model.init_cache()
             logits = self.model.forward_incremental(padded, prefill_cache)
             session_ids = self.cache.admit_rows(
                 prefill_cache,
@@ -394,7 +416,7 @@ class SessionManager:
             try:
                 self.prefill_chunk(session, grant)
             except Exception as error:
-                self._abort(session)
+                self.abort(session)
                 failures.append((session, error))
                 continue
             spent += cost
@@ -426,7 +448,7 @@ class SessionManager:
                 self.prefill_chunk(session, grant)
                 spent += cost
             except Exception as error:
-                self._abort(session)
+                self.abort(session)
                 failures.append((session, error))
         if one_shot:
             try:
@@ -440,7 +462,7 @@ class SessionManager:
                     try:
                         self.admit(session)
                     except Exception as error:
-                        self._abort(session)
+                        self.abort(session)
                         failures.append((session, error))
             terminal.extend(s for s in one_shot if s.state == FINISHED)
         return spent, terminal, failures, deferred
@@ -472,6 +494,8 @@ class SessionManager:
         if take <= 0:
             raise ValueError(f"session {session.session_id} has no prompt "
                              f"tokens left to prefill")
+        if self.faults is not None:
+            self.faults.fire("prefill.chunk")
         was_training = self.model.training
         if was_training:  # KV-cached forwards require eval mode (as generate())
             self.model.eval()
@@ -479,9 +503,12 @@ class SessionManager:
             with no_grad():
                 if session.prefill_cache is None:
                     entry = session.prefix_entry
-                    session.prefill_cache = (
-                        self.prefix.seed_cache(entry, 1)
-                        if entry is not None else self.model.init_cache())
+                    if entry is not None:
+                        if self.faults is not None:
+                            self.faults.fire("prefix.seed")
+                        session.prefill_cache = self.prefix.seed_cache(entry, 1)
+                    else:
+                        session.prefill_cache = self.model.init_cache()
                 chunk = np.asarray(
                     session.prompt_ids[session.prompt_pos:
                                        session.prompt_pos + take],
@@ -513,12 +540,21 @@ class SessionManager:
             self._consume_logits(session, logits.data[0, -1, :])
         return take
 
-    def _abort(self, session: GenerationSession) -> None:
-        """Release a failed session's slot/blocks without finishing it."""
+    def abort(self, session: GenerationSession) -> None:
+        """Release a failed session's slot/blocks without finishing it.
+
+        The quarantine primitive: idempotent (a session already aborted, or
+        evicted mid-step before the fault hit, is a no-op), and tolerant of
+        a pool that already dropped the slot — the engine's invariant check
+        right after the quarantine is what proves the pool stayed sound.
+        """
         self.prefilling.pop(session.session_id, None)
         if session.slot is not None:
             self.running.pop(session.slot, None)
-            self.cache.evict(session.slot)
+            try:
+                self.cache.evict(session.slot)
+            except ValueError:
+                pass  # slot already gone; check_invariants judges the pool
             session.slot = None
         session.prefill_cache = None
         session.state = FAILED
@@ -547,6 +583,11 @@ class SessionManager:
         """
         if not self.running:
             return [], 0
+        if self.faults is not None:
+            # Pre-forward site: a raise here leaves the pool untouched, the
+            # cheapest-to-recover decode fault (the engine quarantines the
+            # whole batch either way).
+            self.faults.fire("decode.step")
         # Sessions whose cache cannot take one more token finish now (their
         # already-sampled final token still counts as generated output).
         completed: List[GenerationSession] = []
@@ -571,6 +612,10 @@ class SessionManager:
         finally:
             if was_training:
                 self.model.train()
+        if self.faults is not None:
+            # Post-forward site: the K/V writes are committed; a "corrupt"
+            # spec perturbs the logits in place before sampling.
+            self.faults.fire("decode.logits", payload=logits)
         occupancy = len(batch)
         for row, session in enumerate(batch):
             session.metrics.batch_sizes.append(occupancy)

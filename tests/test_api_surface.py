@@ -20,15 +20,19 @@ EXPECTED_ALL = {
     "GenerateRequest", "DecisionRequest",
     "GenerationResult", "VPResult", "ABRResult", "CJSResult",
     "RequestCancelled", "DeadlineExceeded",
+    "RequestFailed", "ServerOverloaded",
     "PRIORITY_LOW", "PRIORITY_NORMAL", "PRIORITY_HIGH",
     # Pluggable task runtimes.
     "TaskRuntime", "VPRuntime", "ABRRuntime", "CJSRuntime", "build_runtime",
     # Engine and scheduling.
     "InferenceServer", "RequestHandle",
-    "ContinuousBatchingScheduler", "SchedulerPolicy",
+    "ContinuousBatchingScheduler", "SchedulerPolicy", "RetryPolicy",
     "GenerationSession", "SessionManager",
     "PrefixCache", "PrefixEntry",
-    "RequestMetrics", "ServerStats",
+    "RequestMetrics", "ServerStats", "ServerHealth",
+    # Fault injection (chaos testing; gated behind REPRO_FAULTS).
+    "FaultInjector", "FaultSpec", "InjectedFault", "TransientFault",
+    "FAULT_SITES",
     # Task-side clients.
     "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",
     "ServedVPPredictor", "serve_vp_predictions",
@@ -85,6 +89,10 @@ class TestServeSurface:
     def test_lifecycle_errors(self):
         assert issubclass(serve.RequestCancelled, RuntimeError)
         assert issubclass(serve.DeadlineExceeded, TimeoutError)
+        assert issubclass(serve.RequestFailed, RuntimeError)
+        assert issubclass(serve.ServerOverloaded, RuntimeError)
+        assert issubclass(serve.TransientFault, serve.InjectedFault)
+        assert issubclass(serve.InjectedFault, RuntimeError)
         assert (serve.PRIORITY_LOW, serve.PRIORITY_NORMAL,
                 serve.PRIORITY_HIGH) == (0, 1, 2)
 
@@ -114,9 +122,21 @@ class TestServeSurface:
         assert {"max_batch_size", "max_context", "max_queue",
                 "priority_aging_s", "block_size", "prefill_padding",
                 "ragged_prefill", "enable_prefix_cache", "max_prefixes",
-                "prefill_chunk_size", "step_token_budget"} == set(fields)
+                "prefill_chunk_size", "step_token_budget",
+                "retry_policy", "shed_queue_depth", "shed_queue_age_s",
+                "health_window_s"} == set(fields)
         assert fields["priority_aging_s"] == 30.0
         # Chunked prefill is opt-in: the defaults preserve one-shot prefill
         # with unbounded steps (the pre-chunking engine behaviour).
         assert fields["prefill_chunk_size"] is None
         assert fields["step_token_budget"] is None
+        # Fault tolerance is opt-in too: no retries, no shedding by default.
+        assert fields["retry_policy"] is None
+        assert fields["shed_queue_depth"] is None
+        assert fields["shed_queue_age_s"] is None
+
+    def test_retry_policy_knobs(self):
+        fields = _fields(serve.RetryPolicy)
+        assert {"max_attempts", "backoff_s", "backoff_multiplier",
+                "retry_on"} == set(fields)
+        assert fields["max_attempts"] == 2  # one retry by default

@@ -1,0 +1,785 @@
+"""Chaos suite for the fault-isolated serving engine.
+
+Covers the deterministic :class:`FaultInjector` (env gating, scripted
+triggers, seeded replay), per-request quarantine (blast radius, pool
+soundness, escalation), bounded retries, overload shedding, the health
+surface, and the randomized seeded chaos property test that pins exact
+parity between a faulty run's survivors and the fault-free reference run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.llm import LanguageModel, build_llm
+from repro.llm.config import LLMConfig
+from repro.serve import (
+    FAULT_SITES,
+    DecisionRequest,
+    FaultInjector,
+    FaultSpec,
+    GenerateRequest,
+    InferenceServer,
+    InjectedFault,
+    RequestFailed,
+    RetryPolicy,
+    SchedulerPolicy,
+    ServerHealth,
+    ServerOverloaded,
+    TransientFault,
+)
+from repro.serve.faults import injection_allowed
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = LLMConfig(name="faults-test", family="test", d_model=32,
+                       num_layers=2, num_heads=2, max_seq_len=64)
+    return LanguageModel(config, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def _arm_faults(monkeypatch):
+    """Arm the REPRO_FAULTS gate for every test in this module."""
+    monkeypatch.setenv("REPRO_FAULTS", "1")
+
+
+def _invariants(server):
+    manager = server._manager
+    manager.cache.check_invariants(
+        external_refs=manager.prefix.external_refs()
+        if manager.prefix is not None else None)
+
+
+class _EchoRuntime:
+    """Trivial decision runtime: one shared group, echoes payloads doubled."""
+
+    def group_key(self, request):
+        return ()
+
+    def execute_batch(self, requests):
+        return [request.payload * 2 for request in requests]
+
+
+# ---------------------------------------------------------------------- #
+# FaultInjector unit behaviour
+# ---------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_env_gate_blocks_construction(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert not injection_allowed()
+        with pytest.raises(RuntimeError, match="REPRO_FAULTS"):
+            FaultInjector([FaultSpec(site="decode.step", at=1)])
+        monkeypatch.setenv("REPRO_FAULTS", "0")
+        assert not injection_allowed()
+        monkeypatch.setenv("REPRO_FAULTS", "true")
+        assert injection_allowed()
+        FaultInjector([])  # armed: constructs fine
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="nope.nope", at=1)
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="decode.step", action="explode", at=1)
+        with pytest.raises(ValueError, match="exactly one trigger"):
+            FaultSpec(site="decode.step")
+        with pytest.raises(ValueError, match="exactly one trigger"):
+            FaultSpec(site="decode.step", at=1, every=2)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(site="decode.step", at=0)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(site="decode.step", rate=1.5)
+        with pytest.raises(TypeError, match="FaultSpec"):
+            FaultInjector(["decode.step"])
+
+    def test_at_and_every_triggers(self):
+        injector = FaultInjector([
+            FaultSpec(site="decode.step", at=2),
+            FaultSpec(site="kv.admit", every=3, max_fires=2),
+        ])
+        fired = []
+        for visit in range(1, 10):
+            try:
+                injector.fire("decode.step")
+            except InjectedFault as fault:
+                fired.append(("decode.step", fault.occurrence))
+            try:
+                injector.fire("kv.admit")
+            except InjectedFault as fault:
+                fired.append(("kv.admit", fault.occurrence))
+        # at=2 fires exactly once; every=3 fires on visits 3 and 6 only
+        # (max_fires=2 suppresses visit 9).
+        assert fired == [("decode.step", 2), ("kv.admit", 3), ("kv.admit", 6)]
+        assert injector.visit_count("decode.step") == 9
+        assert injector.total_fired == 3
+
+    def test_rate_trigger_is_seeded_deterministic(self):
+        def run(seed):
+            injector = FaultInjector(
+                [FaultSpec(site="decode.step", rate=0.3)], seed=seed)
+            fires = []
+            for _ in range(50):
+                try:
+                    injector.fire("decode.step")
+                except InjectedFault:
+                    fires.append(injector.visit_count("decode.step"))
+            return fires
+
+        assert run(7) == run(7)  # same seed: identical fault sequence
+        assert run(7) != run(8)  # different seed: different sequence
+        assert 0 < len(run(7)) < 50
+
+    def test_transient_classification(self):
+        injector = FaultInjector([
+            FaultSpec(site="decode.step", at=1, transient=True)])
+        with pytest.raises(TransientFault) as info:
+            injector.fire("decode.step")
+        assert info.value.transient
+        assert isinstance(info.value, InjectedFault)
+        assert RetryPolicy().is_retryable(info.value)
+        assert not RetryPolicy().is_retryable(InjectedFault("decode.step", 1))
+
+    def test_corrupt_perturbs_payload_deterministically(self):
+        payload_a = np.zeros(8)
+        payload_b = np.zeros(8)
+        for payload in (payload_a, payload_b):
+            injector = FaultInjector(
+                [FaultSpec(site="decode.logits", action="corrupt", at=1,
+                           corrupt_scale=0.5)], seed=11)
+            injector.fire("decode.logits", payload=payload)
+        assert np.any(payload_a != 0)
+        np.testing.assert_array_equal(payload_a, payload_b)
+        # No payload at the site: corrupt is a no-op, not an error.
+        injector = FaultInjector(
+            [FaultSpec(site="decode.logits", action="corrupt", at=1)])
+        injector.fire("decode.logits")
+
+    def test_delay_action_sleeps(self):
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", action="delay", at=1,
+                       delay_s=0.05)])
+        start = time.perf_counter()
+        injector.fire("decode.step")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_site_catalog_is_documented(self):
+        assert set(FAULT_SITES) == {
+            "runtime.execute_batch", "prefill.band", "prefill.chunk",
+            "decode.step", "decode.logits", "kv.admit", "kv.extend",
+            "prefix.seed"}
+        for site, where in FAULT_SITES.items():
+            assert where, f"site {site!r} has no description"
+
+
+# ---------------------------------------------------------------------- #
+# Quarantine: fault isolation with pool soundness
+# ---------------------------------------------------------------------- #
+class TestQuarantine:
+    def test_decode_fault_quarantines_batch_and_keeps_serving(self, model):
+        injector = FaultInjector([FaultSpec(site="decode.step", at=2)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2),
+                                 fault_injector=injector)
+        doomed = [server.submit(GenerateRequest(prompt=f"d{i}",
+                                                max_new_tokens=4,
+                                                stop_on_eos=False))
+                  for i in range(2)]
+        server.run_until_idle()
+        for handle in doomed:
+            with pytest.raises(RequestFailed, match="decode step"):
+                handle.result(timeout=5)
+        _invariants(server)
+        assert server._manager.cache.num_sessions == 0  # blocks reclaimed
+        # The engine keeps serving: a fresh request completes normally.
+        survivor = server.submit(GenerateRequest(prompt="ok",
+                                                 max_new_tokens=4,
+                                                 stop_on_eos=False))
+        server.run_until_idle()
+        assert len(survivor.result(timeout=5).token_ids) == 4
+        stats = server.stats()
+        assert stats.failed == 2
+        assert stats.faults_quarantined == 1
+        assert stats.requests_completed == 1
+
+    def test_request_failed_chains_original_error(self, model):
+        injector = FaultInjector([FaultSpec(site="decode.step", at=1)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1),
+                                 fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed) as info:
+            handle.result(timeout=5)
+        assert isinstance(info.value.cause, InjectedFault)
+        assert info.value.__cause__ is info.value.cause
+        assert "injected fault at 'decode.step'" in str(info.value)
+
+    def test_single_band_fault_is_absorbed_by_per_session_retry(self, model):
+        # A batched prefill band that faults once is retried session by
+        # session (the pre-existing admission fallback); one band fault is
+        # absorbed transparently and the request still completes.
+        injector = FaultInjector([FaultSpec(site="prefill.band", at=1)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2),
+                                 fault_injector=injector)
+        first = server.submit(GenerateRequest(prompt="aaa", max_new_tokens=3,
+                                              stop_on_eos=False))
+        server.run_until_idle()
+        assert len(first.result(timeout=5).token_ids) == 3
+        assert injector.total_fired == 1
+        _invariants(server)
+
+    def test_persistent_prefill_fault_quarantines_only_that_admission(self, model):
+        # Both the batched band and the per-session retry fault: now the
+        # admission is quarantined — and only this admission, the next
+        # submission (fires exhausted) completes.
+        injector = FaultInjector(
+            [FaultSpec(site="prefill.band", every=1, max_fires=2)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2),
+                                 fault_injector=injector)
+        first = server.submit(GenerateRequest(prompt="aaa", max_new_tokens=3,
+                                              stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed, match="prefill"):
+            first.result(timeout=5)
+        _invariants(server)
+        second = server.submit(GenerateRequest(prompt="bbb", max_new_tokens=3,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        assert len(second.result(timeout=5).token_ids) == 3
+
+    def test_kv_admit_fault_leaves_pool_sound(self, model):
+        # every=1: fault both the batched admission and its per-session retry
+        # (a single admission fault is absorbed by the retry fallback).
+        injector = FaultInjector(
+            [FaultSpec(site="kv.admit", every=1, max_fires=2)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2),
+                                 fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed):
+            handle.result(timeout=5)
+        _invariants(server)
+        assert server._manager.cache.num_sessions == 0
+
+    def test_chunked_prefill_fault_quarantined(self, model):
+        injector = FaultInjector([FaultSpec(site="prefill.chunk", at=2)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=2, prefill_chunk_size=4),
+            fault_injector=injector)
+        long_prompt = "tok " * 12  # several chunks
+        doomed = server.submit(GenerateRequest(prompt=long_prompt,
+                                               max_new_tokens=3,
+                                               stop_on_eos=False))
+        short = server.submit(GenerateRequest(prompt="hi", max_new_tokens=3,
+                                              stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed, match="prefill"):
+            doomed.result(timeout=5)
+        assert len(short.result(timeout=5).token_ids) == 3
+        _invariants(server)
+
+    def test_decision_fault_blast_radius_is_one_batch(self, model):
+        """Satellite regression test: a runtime raising inside one decision
+        batch fails exactly that batch's handles — the concurrently queued
+        generation session and later decision batches are untouched."""
+        injector = FaultInjector(
+            [FaultSpec(site="runtime.execute_batch", at=1)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=2),
+                                 runtimes={"echo": _EchoRuntime()},
+                                 fault_injector=injector)
+        generation = server.submit(GenerateRequest(prompt="gen",
+                                                   max_new_tokens=4,
+                                                   stop_on_eos=False))
+        doomed = [server.submit(DecisionRequest(task="echo", payload=i))
+                  for i in range(3)]
+        server.run_until_idle()
+        for handle in doomed:  # the faulted batch: exactly these fail
+            with pytest.raises(RequestFailed, match="decision batch"):
+                handle.result(timeout=5)
+        assert len(generation.result(timeout=5).token_ids) == 4
+        after = server.submit(DecisionRequest(task="echo", payload=21))
+        server.run_until_idle()
+        assert after.result(timeout=5) == 42
+        stats = server.stats()
+        assert stats.failed == 3
+        assert stats.faults_quarantined == 1
+        _invariants(server)
+
+    def test_invariant_violation_escalates_to_crash_guard(self, model):
+        """Quarantine that cannot prove the pool sound must fail everything:
+        the engine turns FAILED and the error reaches the driver."""
+        injector = FaultInjector([FaultSpec(site="decode.step", at=1)])
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1),
+                                 fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+
+        def violated(external_refs=None):
+            raise AssertionError("refcount mismatch (simulated)")
+
+        server._manager.cache.check_invariants = violated
+        with pytest.raises(RuntimeError, match="unrecoverable fault"):
+            server.run_until_idle()
+        assert handle.done()
+        with pytest.raises(RuntimeError, match="unrecoverable fault"):
+            handle.result(timeout=5)
+        assert server.health == ServerHealth.FAILED
+        assert server.stats().health == ServerHealth.FAILED
+
+    def test_health_degrades_after_quarantine_then_recovers(self, model):
+        injector = FaultInjector([FaultSpec(site="decode.step", at=1)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1, health_window_s=0.2),
+            fault_injector=injector)
+        assert server.health == ServerHealth.HEALTHY
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed):
+            handle.result(timeout=5)
+        assert server.health == ServerHealth.DEGRADED
+        time.sleep(0.25)  # the fault ages out of the health window
+        assert server.health == ServerHealth.HEALTHY
+
+
+# ---------------------------------------------------------------------- #
+# Bounded retries
+# ---------------------------------------------------------------------- #
+class TestRetries:
+    def test_transient_generation_fault_retries_to_completion(self, model):
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", at=1, transient=True)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=2,
+                                   retry_policy=RetryPolicy(max_attempts=2)),
+            fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="retry me",
+                                               max_new_tokens=4,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        assert len(handle.result(timeout=10).token_ids) == 4
+        assert handle.metrics.attempts == 2
+        stats = server.stats()
+        assert stats.retries == 1
+        assert stats.faults_quarantined == 1
+        assert stats.failed == 0
+        assert stats.requests_completed == 1
+        _invariants(server)
+
+    def test_retry_result_matches_fault_free_run(self, model):
+        reference = InferenceServer(model, SchedulerPolicy(max_batch_size=2))
+        expected = reference.submit(GenerateRequest(
+            prompt="parity", max_new_tokens=5, stop_on_eos=False))
+        reference.run_until_idle()
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", at=2, transient=True)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=2,
+                                   retry_policy=RetryPolicy(max_attempts=3)),
+            fault_injector=injector)
+        handle = server.submit(GenerateRequest(
+            prompt="parity", max_new_tokens=5, stop_on_eos=False))
+        server.run_until_idle()
+        assert handle.result(timeout=10).token_ids \
+            == expected.result(timeout=10).token_ids
+
+    def test_attempts_are_bounded(self, model):
+        # Every decode step faults transiently: with max_attempts=2 the
+        # request fails after its retry — retries never loop unbounded.
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", every=1, transient=True)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1,
+                                   retry_policy=RetryPolicy(max_attempts=2)),
+            fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed):
+            handle.result(timeout=10)
+        assert handle.metrics.attempts == 2
+        assert server.stats().retries == 1
+
+    def test_permanent_fault_is_not_retried(self, model):
+        injector = FaultInjector([FaultSpec(site="decode.step", at=1)])
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1,
+                                   retry_policy=RetryPolicy(max_attempts=3)),
+            fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=2,
+                                               stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed):
+            handle.result(timeout=5)
+        assert handle.metrics.attempts == 1
+        assert server.stats().retries == 0
+
+    def test_retry_on_classifies_custom_errors(self, model):
+        policy = RetryPolicy(max_attempts=2, retry_on=(KeyError,))
+        assert policy.is_retryable(KeyError("missing"))
+        assert not policy.is_retryable(ValueError("other"))
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(TypeError, match="exception types"):
+            RetryPolicy(retry_on=("KeyError",))
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.1,
+                             backoff_multiplier=3.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.3)
+        assert policy.backoff_for(3) == pytest.approx(0.9)
+        assert RetryPolicy(backoff_s=0.0).backoff_for(2) == 0.0
+
+    def test_backoff_parks_then_completes(self, model):
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", at=1, transient=True)])
+        server = InferenceServer(
+            model, SchedulerPolicy(
+                max_batch_size=1,
+                retry_policy=RetryPolicy(max_attempts=2, backoff_s=0.05)),
+            fault_injector=injector)
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=3,
+                                               stop_on_eos=False))
+        # After the quarantine the retry is parked: step() finds no runnable
+        # work, but run_until_idle waits out the backoff instead of failing.
+        server.run_until_idle()
+        assert len(handle.result(timeout=10).token_ids) == 3
+        assert handle.metrics.attempts == 2
+
+    def test_transient_decision_fault_retries(self, model):
+        injector = FaultInjector(
+            [FaultSpec(site="runtime.execute_batch", at=1, transient=True)])
+        server = InferenceServer(
+            model, SchedulerPolicy(retry_policy=RetryPolicy(max_attempts=2)),
+            runtimes={"echo": _EchoRuntime()}, fault_injector=injector)
+        handles = [server.submit(DecisionRequest(task="echo", payload=i))
+                   for i in range(3)]
+        server.run_until_idle()
+        assert [h.result(timeout=10) for h in handles] == [0, 2, 4]
+        assert all(h.metrics.attempts == 2 for h in handles)
+        assert server.stats().retries == 3  # one re-enqueue per entry
+
+
+# ---------------------------------------------------------------------- #
+# Overload shedding
+# ---------------------------------------------------------------------- #
+class TestShedding:
+    def test_depth_shedding_rejects_with_typed_error(self, model):
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1, shed_queue_depth=2))
+        handles = [server.submit(GenerateRequest(prompt=f"p{i}",
+                                                 max_new_tokens=2,
+                                                 stop_on_eos=False))
+                   for i in range(4)]
+        # Shed handles fail immediately, before any engine step.
+        assert handles[2].done() and handles[3].done()
+        for handle in handles[2:]:
+            with pytest.raises(ServerOverloaded, match="queue depth"):
+                handle.result(timeout=5)
+        server.run_until_idle()
+        for handle in handles[:2]:  # admitted work is protected, not shed
+            assert len(handle.result(timeout=5).token_ids) == 2
+        stats = server.stats()
+        assert stats.shed == 2
+        assert stats.requests_completed == 2
+
+    def test_age_shedding_and_degraded_health(self, model):
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1, shed_queue_age_s=0.02))
+        server.submit(GenerateRequest(prompt="old", max_new_tokens=2,
+                                      stop_on_eos=False))
+        blocked = server.submit(GenerateRequest(prompt="wait", max_new_tokens=2,
+                                                stop_on_eos=False))
+        time.sleep(0.05)  # the queued request ages past the shed bound
+        assert server.health == ServerHealth.DEGRADED
+        shed = server.submit(GenerateRequest(prompt="new", max_new_tokens=2,
+                                             stop_on_eos=False))
+        with pytest.raises(ServerOverloaded, match="waited"):
+            shed.result(timeout=5)
+        server.run_until_idle()
+        assert blocked.result(timeout=5).token_ids  # queued work survived
+        assert server.health == ServerHealth.HEALTHY
+
+    def test_decision_depth_shedding(self, model):
+        server = InferenceServer(
+            policy=SchedulerPolicy(shed_queue_depth=2),
+            runtimes={"echo": _EchoRuntime()})
+        handles = [server.submit(DecisionRequest(task="echo", payload=i))
+                   for i in range(4)]
+        for handle in handles[2:]:
+            with pytest.raises(ServerOverloaded):
+                handle.result(timeout=5)
+        server.run_until_idle()
+        assert [h.result(timeout=5) for h in handles[:2]] == [0, 2]
+        assert server.stats().shed == 2
+
+    def test_shed_outcome_in_stats(self, model):
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=1, shed_queue_depth=1))
+        ok = server.submit(GenerateRequest(prompt="a", max_new_tokens=2,
+                                           stop_on_eos=False))
+        shed = server.submit(GenerateRequest(prompt="b", max_new_tokens=2,
+                                             stop_on_eos=False))
+        server.run_until_idle()
+        ok.result(timeout=5)
+        with pytest.raises(ServerOverloaded):
+            shed.result(timeout=5)
+        report = server.stats().report()
+        assert report["shed"] == 1
+        assert report["failed"] == 0
+        assert report["health"] == ServerHealth.HEALTHY
+
+
+# ---------------------------------------------------------------------- #
+# Engine shutdown diagnostics (satellite fixes)
+# ---------------------------------------------------------------------- #
+class TestShutdownDiagnostics:
+    def test_stop_raises_loudly_on_wedged_loop_thread(self, model, monkeypatch):
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1))
+        monkeypatch.setattr(InferenceServer, "JOIN_TIMEOUT_S", 0.1)
+        release = time.perf_counter() + 1.0
+
+        def wedged_step():
+            while time.perf_counter() < release:
+                time.sleep(0.01)
+            return False
+
+        monkeypatch.setattr(server, "step", wedged_step)
+        server.start()
+        time.sleep(0.02)  # let the loop enter the wedged step
+        with pytest.raises(RuntimeError, match="did not exit within"):
+            server.stop(drain=False)
+        # Cleanup: the wedge releases itself and the thread exits.
+        time.sleep(1.1)
+
+    def test_fail_all_pending_does_not_mask_original_error(self, model):
+        """Satellite regression test: a failing per-session evict inside the
+        crash guard must not replace the error every handle reports."""
+        server = InferenceServer(model, SchedulerPolicy(max_batch_size=1))
+        handle = server.submit(GenerateRequest(prompt="x", max_new_tokens=4,
+                                               stop_on_eos=False))
+        server.step()  # admit the session so the crash guard must evict it
+        assert server._manager.num_running == 1
+
+        def exploding_evict(session, reason="failed"):
+            raise RuntimeError("evict exploded too")
+
+        server._manager.evict = exploding_evict
+        original = RuntimeError("the original fault")
+        server._fail_all_pending(original)
+        with pytest.raises(RuntimeError, match="the original fault"):
+            handle.result(timeout=5)
+
+
+# ---------------------------------------------------------------------- #
+# Seeded chaos property suite
+# ---------------------------------------------------------------------- #
+def _mixed_workload(rng, count):
+    """A seeded list of (kind, payload) submissions."""
+    events = []
+    for index in range(count):
+        kind = rng.choice(["generate", "echo"])
+        if kind == "generate":
+            words = " ".join(f"w{rng.integers(0, 50)}"
+                             for _ in range(int(rng.integers(1, 6))))
+            events.append(("generate", (words, int(rng.integers(2, 6)))))
+        else:
+            events.append(("echo", int(rng.integers(0, 1000))))
+    return events
+
+
+def _run_workload(server, events, steps_between=2):
+    handles = []
+    for kind, payload in events:
+        if kind == "generate":
+            prompt, max_new = payload
+            handles.append(server.submit(GenerateRequest(
+                prompt=prompt, max_new_tokens=max_new, stop_on_eos=False)))
+        else:
+            handles.append(server.submit(
+                DecisionRequest(task="echo", payload=payload)))
+        for _ in range(steps_between):
+            server.step()
+    server.run_until_idle()
+    return handles
+
+
+def _collect(handles):
+    """(outcome, value) per handle: 'ok' payload or the failure class name."""
+    results = []
+    for handle in handles:
+        assert handle.done(), "no handle may hang after the run goes idle"
+        try:
+            value = handle.result(timeout=5)
+        except Exception as error:
+            results.append(("error", type(error).__name__))
+            continue
+        value = value.token_ids if hasattr(value, "token_ids") else value
+        results.append(("ok", value))
+    return results
+
+
+class TestChaosSmoke:
+    def test_seeded_chaos_smoke_fast_lane(self, model):
+        """Fast-lane chaos: a short seeded fault schedule over a mixed
+        workload — survivors match the fault-free reference run exactly."""
+        start = time.perf_counter()
+        rng = np.random.default_rng(42)
+        events = _mixed_workload(rng, count=24)
+
+        reference = InferenceServer(model, SchedulerPolicy(max_batch_size=4),
+                                    runtimes={"echo": _EchoRuntime()})
+        expected = _collect(_run_workload(reference, events))
+
+        injector = FaultInjector([
+            FaultSpec(site="decode.step", rate=0.15, transient=True),
+            FaultSpec(site="prefill.band", at=3),
+            FaultSpec(site="runtime.execute_batch", at=2),
+        ], seed=42)
+        server = InferenceServer(
+            model, SchedulerPolicy(max_batch_size=4,
+                                   retry_policy=RetryPolicy(max_attempts=2)),
+            runtimes={"echo": _EchoRuntime()}, fault_injector=injector)
+        observed = _collect(_run_workload(server, events))
+
+        assert injector.total_fired > 0  # the schedule actually fired
+        survivors = failures = 0
+        for (kind, value), (_, reference_value) in zip(observed, expected):
+            if kind == "ok":
+                survivors += 1
+                assert value == reference_value  # exact parity
+            else:
+                failures += 1
+                assert value == "RequestFailed"
+        assert survivors > 0 and failures > 0
+        _invariants(server)
+        stats = server.stats()
+        assert stats.faults_quarantined > 0
+        assert stats.requests_completed == survivors
+        assert stats.failed == failures
+        assert time.perf_counter() - start < 60  # fast-lane guard
+
+
+@pytest.mark.slow
+class TestChaosProperty:
+    def test_200_step_chaos_parity_with_real_adapters(self, model, vp_data,
+                                                      tiny_llm, abr_setup):
+        """The tentpole property test: a 200-submission seeded chaos run over
+        mixed generate+vp/abr traffic.  Every non-implicated request finishes
+        with exact parity against the fault-free reference run, pool
+        invariants hold after every quarantine (the engine re-proves them
+        internally; re-checked here at the end), no handle hangs, and the
+        engine keeps progressing throughout."""
+        from repro.abr.env import ABRObservation
+        from repro.core import DecisionAdapter, VPAdapter
+
+        setting, _, vp_test = vp_data
+        video, _, _ = abr_setup
+        vp_llm = build_llm("tiny-test", lora_rank=0, pretrained=False, seed=0)
+        vp_adapter = VPAdapter(vp_llm,
+                               prediction_steps=setting.prediction_steps,
+                               seed=0)
+        state_dim = ABRObservation.flat_size(video.num_bitrates)
+        abr_adapter = DecisionAdapter(tiny_llm, state_dim=state_dim,
+                                      action_dims=(video.num_bitrates,),
+                                      context_window=4, head="abr", seed=0)
+
+        rng = np.random.default_rng(1234)
+        events = []
+        for _ in range(200):
+            kind = rng.choice(["generate", "vp", "abr", "echo"])
+            if kind == "generate":
+                words = " ".join(f"w{rng.integers(0, 50)}"
+                                 for _ in range(int(rng.integers(1, 8))))
+                events.append(("generate", (words, int(rng.integers(2, 6)))))
+            elif kind == "vp":
+                events.append(("vp", int(rng.integers(0, len(vp_test)))))
+            elif kind == "abr":
+                window = 3
+                events.append(("abr", {
+                    "returns": rng.normal(size=(window, 1)),
+                    "states": rng.normal(size=(window, state_dim)),
+                    "actions": rng.integers(0, video.num_bitrates,
+                                            size=(window, 1)),
+                }))
+            else:
+                events.append(("echo", int(rng.integers(0, 1000))))
+
+        def build_server(injector=None, retry=None):
+            return InferenceServer(
+                model,
+                SchedulerPolicy(max_batch_size=4, prefill_chunk_size=8,
+                                retry_policy=retry),
+                adapters={"vp": vp_adapter, "abr": abr_adapter},
+                runtimes={"echo": _EchoRuntime()},
+                fault_injector=injector)
+
+        def run(server):
+            handles = []
+            progressed = 0
+            for kind, payload in events:
+                if kind == "generate":
+                    prompt, max_new = payload
+                    handles.append(server.submit(GenerateRequest(
+                        prompt=prompt, max_new_tokens=max_new,
+                        stop_on_eos=False)))
+                elif kind == "vp":
+                    handles.append(server.submit(DecisionRequest(
+                        task="vp", payload=vp_test[payload])))
+                elif kind == "abr":
+                    handles.append(server.submit(DecisionRequest(
+                        task="abr", payload=payload)))
+                else:
+                    handles.append(server.submit(DecisionRequest(
+                        task="echo", payload=payload)))
+                server.step()
+                progressed += sum(h.done() for h in handles)
+            server.run_until_idle()
+            assert progressed > 0  # the engine progressed throughout
+            return handles
+
+        expected = run(build_server())
+
+        injector = FaultInjector([
+            FaultSpec(site="decode.step", rate=0.05, transient=True),
+            FaultSpec(site="prefill.band", rate=0.05),
+            FaultSpec(site="prefill.chunk", rate=0.03, transient=True),
+            FaultSpec(site="runtime.execute_batch", rate=0.05),
+            FaultSpec(site="kv.admit", rate=0.02),
+        ], seed=99)
+        observed = run(build_server(injector=injector,
+                                    retry=RetryPolicy(max_attempts=2)))
+
+        assert injector.total_fired > 0
+        survivors = failures = 0
+        for expected_handle, handle in zip(expected, observed):
+            assert handle.done()
+            reference = expected_handle.result(timeout=5)
+            try:
+                value = handle.result(timeout=5)
+            except RequestFailed:
+                failures += 1
+                continue
+            survivors += 1
+            if hasattr(value, "token_ids"):  # generation: exact token parity
+                assert value.token_ids == reference.token_ids
+            elif hasattr(value, "viewport"):  # vp: repo parity convention
+                np.testing.assert_allclose(value.viewport,
+                                           reference.viewport,
+                                           atol=1e-9, rtol=0)
+            elif hasattr(value, "action"):  # abr: exact greedy action
+                assert value.action == reference.action
+            else:
+                assert value == reference
+        assert survivors > 100  # most traffic survives the chaos
+        assert failures > 0     # and the schedule really implicated some
+        server = observed[0]._server
+        _invariants(server)
+        stats = server.stats()
+        assert stats.faults_quarantined > 0
+        assert stats.failed == failures
+        assert stats.requests_completed == survivors

@@ -69,6 +69,11 @@ WATCHED: Dict[str, Dict[str, object]] = {
         "per_batch_size.16.health": {"exact": "healthy"},
         "shared_prefix.stats.health": {"exact": "healthy"},
     },
+    "perf_telemetry.json": {
+        "disabled_tokens_per_s": "higher",
+        "enabled_tokens_per_s": "higher",
+        "overhead_ratio": {"direction": "higher", "gate": 0.95},
+    },
     "perf_serving_latency.json": {
         "one_shot_best_tokens_per_s": "higher",
         "chunked_best_tokens_per_s": "higher",

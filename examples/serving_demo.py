@@ -26,13 +26,18 @@ plus the typed request lifecycle the engine exposes:
   prompt is still prefilling chunk by chunk — no head-of-line stall.
 
 At the end the engine's stats report shows batch occupancy, queue depth,
-per-priority tail latency and the cancelled/expired counts across the load.
+per-priority tail latency and the cancelled/expired counts across the load,
+and the **flight recorder** (``server.telemetry``, see
+``docs/observability.md``) explains the long prompt's TTFT — naming the
+steps, co-batched sessions and prefill chunks that covered it.
 
 Run:  python examples/serving_demo.py   (~1-2 minutes on a laptop CPU)
+Set ``REPRO_TRACE=<path>`` to dump the full step trace as JSONL.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -218,7 +223,34 @@ def main() -> None:
     stats = server.stats()
     print("\nEngine stats:")
     for key, value in stats.report().items():
+        if key == "telemetry":
+            value = (f"{value['steps_recorded']} steps recorded "
+                     f"across {len(value['windows'])} windows")
         print(f"  {key:>22}: {value}")
+
+    # Flight recorder: attribute the chunked long prompt's TTFT to the
+    # engine steps (and co-batched traffic) that covered it.
+    explanation = server.explain_request(long_handle.metrics.request_id)
+    ttft = explanation.ttft
+    print(f"\nFlight-recorder verdict for request "
+          f"{explanation.request_id} (the long prompt):")
+    own_chunks = [tokens for record in ttft.steps
+                  for sid, tokens in record.prefill_chunks
+                  if sid == explanation.request_id]
+    print(f"  ttft {explanation.ttft_s * 1e3:.0f} ms across "
+          f"{len(ttft.steps)} engine steps; its own prefill chunks: "
+          f"{own_chunks}")
+    culprit = ttft.culprit
+    print(f"  culprit step seq={culprit.seq}: "
+          f"{culprit.prefill_tokens} prefill tokens, "
+          f"{culprit.decode_tokens} decode tokens; "
+          f"{len(ttft.co_sessions)} co-batched decoders over the gap")
+
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        count = server.telemetry.export_jsonl(trace_path)
+        print(f"\nWrote {count} step records to {trace_path} "
+              f"(REPRO_TRACE)")
 
 
 if __name__ == "__main__":

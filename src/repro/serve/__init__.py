@@ -28,6 +28,17 @@ named sites — ``runtime.execute_batch``, ``prefill.band``,
 ``prefill.chunk``, ``decode.step``, ``decode.logits``, ``kv.admit``,
 ``kv.extend``, ``prefix.seed`` — drive the chaos test suite through exactly
 the production quarantine paths.
+
+**Observability**: every engine step is recorded by a flight recorder
+(:class:`ServeTelemetry`, on by default) — step-level :class:`StepRecord`
+traces in a bounded ring (:class:`TraceLog`, JSONL-exportable), fixed
+wall-clock window aggregates (:class:`WindowAggregator` /
+:class:`WindowStats`, surfaced via ``server.telemetry.windows()`` and
+``stats().report()["telemetry"]``), and tail-latency attribution:
+``server.explain_request(request_id)`` joins a finished request's TTFT and
+worst inter-token gaps to the step records covering them
+(:class:`RequestExplanation`) — who was co-batched, which prefill chunks
+were in flight, and what fault/retry activity hit.
 """
 
 from ..llm.generation import GenerationResult
@@ -46,7 +57,7 @@ from .faults import (
     InjectedFault,
     TransientFault,
 )
-from .metrics import RequestMetrics, ServerHealth, ServerStats
+from .metrics import RequestMetrics, ServeCounters, ServerHealth, ServerStats
 from .prefix import PrefixCache, PrefixEntry
 from .requests import (
     PRIORITY_HIGH,
@@ -65,6 +76,15 @@ from .requests import (
 from .runtimes import ABRRuntime, CJSRuntime, TaskRuntime, VPRuntime, build_runtime
 from .scheduler import ContinuousBatchingScheduler, RetryPolicy, SchedulerPolicy
 from .session import GenerationSession, SessionManager
+from .telemetry import (
+    GapAttribution,
+    RequestExplanation,
+    ServeTelemetry,
+    StepRecord,
+    TraceLog,
+    WindowAggregator,
+    WindowStats,
+)
 
 __all__ = [
     "GenerateRequest", "DecisionRequest",
@@ -79,7 +99,10 @@ __all__ = [
     "FaultInjector", "FaultSpec", "InjectedFault", "TransientFault",
     "FAULT_SITES",
     "InferenceServer", "RequestHandle",
-    "RequestMetrics", "ServerStats", "ServerHealth",
+    "RequestMetrics", "ServeCounters", "ServerStats", "ServerHealth",
+    "ServeTelemetry", "StepRecord", "TraceLog",
+    "WindowAggregator", "WindowStats",
+    "GapAttribution", "RequestExplanation",
     "LockstepABRDriver", "ServedABRPolicy", "ServedCJSScheduler",
     "ServedVPPredictor", "serve_vp_predictions",
 ]

@@ -74,6 +74,7 @@ from .metrics import (
     OUTCOME_FAILED,
     OUTCOME_SHED,
     RequestMetrics,
+    ServeCounters,
     ServerHealth,
     ServerStats,
 )
@@ -98,6 +99,7 @@ from .session import (
     GenerationSession,
     SessionManager,
 )
+from .telemetry import RequestExplanation, ServeTelemetry
 
 #: The built-in generation task name (decision tasks are runtime
 #: registrations; see :mod:`repro.serve.runtimes`).
@@ -271,6 +273,13 @@ class InferenceServer:
         Optional seeded :class:`~repro.serve.faults.FaultInjector` wired
         through the session manager and paged pool (chaos testing only;
         constructing one requires the ``REPRO_FAULTS`` env toggle).
+    telemetry:
+        The flight recorder (:class:`~repro.serve.telemetry.ServeTelemetry`).
+        ``None``/``True`` record with the defaults, ``False`` disables
+        tracing entirely (hot paths pay one ``None`` check), and a
+        pre-built instance customizes capacity/window width.  Read it back
+        via ``server.telemetry`` (``records()``/``windows()``/
+        ``export_jsonl()``) and :meth:`explain_request`.
     """
 
     #: Seconds ``stop()`` waits for the loop thread before declaring a leak.
@@ -280,10 +289,21 @@ class InferenceServer:
                  policy: Optional[SchedulerPolicy] = None,
                  adapters: Optional[Dict[str, Any]] = None,
                  runtimes: Optional[Dict[str, TaskRuntime]] = None,
-                 fault_injector: Optional[FaultInjector] = None) -> None:
+                 fault_injector: Optional[FaultInjector] = None,
+                 telemetry: Union[ServeTelemetry, bool, None] = None) -> None:
         self.policy = policy or SchedulerPolicy()
         self.model = model
         self._faults = fault_injector
+        if telemetry is None or telemetry is True:
+            telemetry = ServeTelemetry()
+        elif telemetry is False:
+            telemetry = ServeTelemetry(enabled=False)
+        #: The flight recorder (always an object; possibly disabled).
+        self.telemetry = telemetry
+        # Hot-path guard: None when disabled, so every instrumented site is
+        # a single ``is None`` check (same idiom as fault injection).
+        self._trace: Optional[ServeTelemetry] = (
+            telemetry if telemetry.enabled else None)
         self._manager = (SessionManager(model, max_slots=self.policy.max_batch_size,
                                         max_context=self.policy.max_context,
                                         block_size=self.policy.block_size,
@@ -291,7 +311,8 @@ class InferenceServer:
                                         ragged_prefill=self.policy.ragged_prefill,
                                         prefix_cache=self.policy.enable_prefix_cache,
                                         max_prefixes=self.policy.max_prefixes,
-                                        fault_injector=fault_injector)
+                                        fault_injector=fault_injector,
+                                        telemetry=self._trace)
                          if model is not None else None)
         self._scheduler = ContinuousBatchingScheduler(self.policy)
         self._runtimes: Dict[str, TaskRuntime] = {}
@@ -407,8 +428,9 @@ class InferenceServer:
 
     def _submit_generation(self, request: GenerateRequest) -> RequestHandle:
         self._require_model()
-        metrics = RequestMetrics(task=GENERATE, priority=request.priority)
         request_id = next(self._ids)
+        metrics = RequestMetrics(task=GENERATE, priority=request.priority,
+                                 request_id=request_id)
         session = GenerationSession(session_id=request_id, prompt=request.prompt,
                                     max_new_tokens=request.max_new_tokens,
                                     temperature=request.temperature,
@@ -455,8 +477,10 @@ class InferenceServer:
                 f"task runtime for {request.task!r} returned an unhashable "
                 f"group_key ({type(group_key).__name__}); return e.g. a "
                 f"tuple of shapes") from None
-        metrics = RequestMetrics(task=request.task, priority=request.priority)
-        handle = RequestHandle(self, next(self._ids), request, metrics,
+        request_id = next(self._ids)
+        metrics = RequestMetrics(task=request.task, priority=request.priority,
+                                 request_id=request_id)
+        handle = RequestHandle(self, request_id, request, metrics,
                                legacy=legacy)
         pending = _PendingDecision(
             handle=handle, request=request,
@@ -508,6 +532,7 @@ class InferenceServer:
                       reason: str) -> None:
         """Reject a submission under overload (lock held)."""
         self._shed += 1
+        self.telemetry.note_shed()
         if session is not None:
             session.state = FAILED
         handle.metrics.outcome = OUTCOME_SHED
@@ -574,6 +599,10 @@ class InferenceServer:
 
     def _terminate(self, handle: RequestHandle, outcome: str,
                    error: BaseException) -> None:
+        if outcome == OUTCOME_CANCELLED:
+            self.telemetry.note_cancelled()
+        elif outcome == OUTCOME_EXPIRED:
+            self.telemetry.note_expired()
         handle.metrics.outcome = outcome
         handle.metrics.mark_finished()
         self._completed.append(handle.metrics)
@@ -620,8 +649,13 @@ class InferenceServer:
         the error propagates to the driver.
         """
         with self._lock:
+            trace = self._trace
+            if trace is not None:
+                trace.begin_step(
+                    time.perf_counter(),
+                    self._faults.fired_log if self._faults is not None else None)
+            did_work = False
             try:
-                did_work = False
                 did_work |= self._reap_expired_queued()
                 did_work |= self._admit_queued()
                 did_work |= self._reap_expired_running()
@@ -629,9 +663,27 @@ class InferenceServer:
                 did_work |= self._flush_decisions()
                 return did_work
             except BaseException as error:
+                did_work = True  # a crashing step is never discarded as idle
                 self._crashed = True
                 self._fail_all_pending(error)
                 raise
+            finally:
+                # Commit on the crash path too: the record of the step that
+                # tore the server down is the one a post-mortem needs most.
+                if trace is not None:
+                    self._commit_step_trace(did_work)
+
+    def _commit_step_trace(self, did_work: bool) -> None:
+        """Freeze this step's trace draft with the end-of-step gauges."""
+        manager = self._manager
+        prefix = manager.prefix if manager is not None else None
+        self._trace.commit_step(
+            time.perf_counter(), did_work,
+            queue_depth=self._scheduler.queue_depth,
+            queue_depth_by_priority=self._scheduler.queue_depth_by_priority(),
+            blocks_in_use=(manager.cache.blocks_in_use
+                           if manager is not None else 0),
+            prefix_hits_total=prefix.hits if prefix is not None else 0)
 
     def run_until_idle(self) -> None:
         """Drive the engine synchronously until no work remains.
@@ -835,6 +887,8 @@ class InferenceServer:
         admitted = self._scheduler.admissions(self._manager.num_free)
         if not admitted:
             return False
+        if self._trace is not None:
+            self._trace.note_admitted(s.session_id for s in admitted)
         for session in admitted:
             handle = self._queued_generation.pop(session.session_id, None)
             if handle is not None:
@@ -882,6 +936,9 @@ class InferenceServer:
                 self._pending_generation[session.session_id] = handle
         if not admitted and not manager.num_prefilling:
             return False
+        if self._trace is not None:
+            self._trace.note_prefill_budget(budget)
+            self._trace.note_admitted(s.session_id for s in admitted)
         spent, terminal, failures, deferred = manager.prefill_step(
             admitted, self.policy.prefill_chunk_size, budget)
         for session in terminal:
@@ -895,6 +952,8 @@ class InferenceServer:
         # so aging and FIFO ordering continue as if they had never left.
         # Reversed so the earliest-admitted deferral keeps the earliest seq.
         for session in reversed(deferred):
+            if self._trace is not None:
+                self._trace.note_deferred(session.session_id)
             handle = self._pending_generation.pop(session.session_id, None)
             self._scheduler.requeue_front(session)
             if handle is not None:
@@ -905,6 +964,8 @@ class InferenceServer:
         if self._manager is None or self._manager.num_running == 0:
             return False
         batch = list(self._manager.running.values())
+        if self._trace is not None:
+            self._trace.note_decode(s.session_id for s in batch)
         try:
             completed, occupancy = self._manager.step()
         except Exception as error:
@@ -934,6 +995,8 @@ class InferenceServer:
         the fail-all crash guard in :meth:`step`.
         """
         self._note_fault()
+        if self._trace is not None:
+            self._trace.note_quarantine(s.session_id for s in sessions)
         for session in sessions:
             self._manager.abort(session)
         self._verify_pool_sound(error)
@@ -971,6 +1034,8 @@ class InferenceServer:
             self._retry_generation(session, now)
             return
         session.state = FAILED
+        if self._trace is not None:
+            self._trace.note_failed()
         handle = self._pending_generation.pop(session.session_id, None)
         session.metrics.outcome = OUTCOME_FAILED
         session.metrics.mark_finished()
@@ -991,6 +1056,8 @@ class InferenceServer:
         policy = self.policy.retry_policy
         session.metrics.attempts += 1
         self._retries += 1
+        if self._trace is not None:
+            self._trace.note_retry()
         # Reset execution state back to a fresh submission.
         session.state = QUEUED
         session.slot = None
@@ -1029,6 +1096,8 @@ class InferenceServer:
         the retry policy or failed with :class:`RequestFailed`.
         """
         self._note_fault()
+        if self._trace is not None:
+            self._trace.note_quarantine(e.handle.request_id for e in group)
         policy = self.policy.retry_policy
         now = time.perf_counter()
         for entry in group:
@@ -1038,12 +1107,16 @@ class InferenceServer:
                     and not entry.is_expired(now)):
                 metrics.attempts += 1
                 self._retries += 1
+                if self._trace is not None:
+                    self._trace.note_retry()
                 backoff = policy.backoff_for(metrics.attempts - 1)
                 entry.retry_at = (now + backoff) if backoff > 0 else None
                 self._pending_decisions.setdefault(task, []).append(entry)
                 continue
             metrics.outcome = OUTCOME_FAILED
             metrics.mark_finished()
+            if self._trace is not None:
+                self._trace.note_failed()
             self._completed.append(metrics)
             entry.handle._fail(RequestFailed(
                 f"request {entry.handle.request_id} ({task}) decision batch "
@@ -1063,6 +1136,8 @@ class InferenceServer:
 
     def _finish_generation(self, session: GenerationSession,
                            error: Optional[BaseException] = None) -> None:
+        if error is None and self._trace is not None:
+            self._trace.note_finished(session.session_id)
         handle = self._pending_generation.pop(session.session_id, None)
         self._last_finished_at = time.perf_counter()
         if handle is None:
@@ -1127,6 +1202,8 @@ class InferenceServer:
             self._quarantine_decision_group(task, group, error)
             return
         self._last_finished_at = time.perf_counter()
+        if self._trace is not None:
+            self._trace.note_decisions(len(group))
         for entry, result in zip(group, results):
             entry.handle.metrics.mark_finished()
             self._completed.append(entry.handle.metrics)
@@ -1145,6 +1222,14 @@ class InferenceServer:
             end = self._last_finished_at or time.perf_counter()
             wall = (end - self._started_at) if self._started_at is not None else 0.0
             prefix = self._manager.prefix if self._manager is not None else None
+            counters = ServeCounters(
+                prefix_hits=prefix.hits if prefix is not None else 0,
+                prefix_misses=prefix.misses if prefix is not None else 0,
+                prefix_tokens_reused=(prefix.tokens_reused
+                                      if prefix is not None else 0),
+                faults_quarantined=self._faults_quarantined,
+                retries=self._retries,
+                shed=self._shed)
             return ServerStats.from_requests(
                 list(self._completed), wall,
                 list(self._scheduler.occupancy_samples),
@@ -1152,11 +1237,27 @@ class InferenceServer:
                 block_usage_samples=list(self._scheduler.block_usage_samples),
                 block_capacity=(self._manager.cache.allocator.num_blocks
                                 if self._manager is not None else 0),
-                prefix_hits=prefix.hits if prefix is not None else 0,
-                prefix_misses=prefix.misses if prefix is not None else 0,
-                prefix_tokens_reused=(prefix.tokens_reused
-                                      if prefix is not None else 0),
-                faults_quarantined=self._faults_quarantined,
-                retries=self._retries,
-                shed=self._shed,
-                health=self.health)
+                counters=counters,
+                health=self.health,
+                telemetry=self.telemetry.summary())
+
+    def explain_request(self, request_id: int,
+                        top_gaps: int = 3) -> RequestExplanation:
+        """Attribute a finished request's TTFT and worst inter-token gaps.
+
+        Joins the request's latency intervals to the flight-recorder step
+        records covering them (see :meth:`~repro.serve.telemetry.
+        ServeTelemetry.explain_request`): which sessions were co-batched,
+        which prefill chunks were in flight, and what fault/quarantine/retry
+        activity hit — the "who was in the batch when my ITL spiked" answer.
+        Raises ``KeyError`` when no completed request has this id (still
+        running, or already rotated out of the completion window).
+        """
+        with self._lock:
+            for metrics in reversed(self._completed):
+                if metrics.request_id == request_id:
+                    return self.telemetry.explain_request(metrics,
+                                                          top_gaps=top_gaps)
+        raise KeyError(
+            f"no completed request with id {request_id} (still running, "
+            f"never submitted, or rotated out of the completion window)")

@@ -192,6 +192,16 @@ class FaultInjector:
         """How many times ``site`` has been reached so far."""
         return self.visits.get(site, 0)
 
+    def fires_since(self, baseline: int) -> List[Tuple[str, int, str]]:
+        """The ``fired_log`` entries appended after length ``baseline``.
+
+        The telemetry flight recorder snapshots ``len(fired_log)`` at step
+        start and slices here at commit — exact per-step attribution,
+        because every fault site fires inside ``step()`` under the engine
+        lock.
+        """
+        return self.fired_log[baseline:]
+
     @property
     def total_fired(self) -> int:
         return len(self.fired_log)

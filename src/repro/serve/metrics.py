@@ -9,6 +9,7 @@ those into throughput / tail-latency / occupancy statistics.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -45,6 +46,9 @@ class RequestMetrics:
 
     task: str
     priority: int = 0
+    #: Engine-assigned request id (joins this request to the telemetry
+    #: trace; ``None`` for metrics constructed outside the engine).
+    request_id: Optional[int] = None
     #: How the request ended: completed (``"ok"``), ``handle.cancel()``-ed
     #: (``"cancelled"``), past its ``deadline_s`` (``"expired"``),
     #: fault-quarantined (``"failed"``) or overload-rejected (``"shed"``).
@@ -110,7 +114,11 @@ class RequestMetrics:
 
     @property
     def time_to_first_token(self) -> float:
-        """Pre-PR-5 name for :attr:`ttft_s` (kept for compatibility)."""
+        """Deprecated pre-PR-5 name for :attr:`ttft_s`."""
+        warnings.warn(
+            "RequestMetrics.time_to_first_token is deprecated; use "
+            "RequestMetrics.ttft_s",
+            DeprecationWarning, stacklevel=2)
         return self.ttft_s
 
     @property
@@ -128,6 +136,25 @@ class RequestMetrics:
         if not self.batch_sizes:
             return 0.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+@dataclass(frozen=True)
+class ServeCounters:
+    """Engine-side monotonic counters threaded into :class:`ServerStats`.
+
+    One small object instead of ever more loose keyword arguments on
+    ``ServerStats.from_requests``: the engine fills it from its internal
+    tallies (prefix cache, fault quarantines, retries, overload sheds) and
+    new telemetry counters extend this dataclass rather than growing the
+    ``from_requests`` signature.
+    """
+
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_tokens_reused: int = 0
+    faults_quarantined: int = 0
+    retries: int = 0
+    shed: int = 0
 
 
 @dataclass
@@ -178,6 +205,10 @@ class ServerStats:
     shed: int = 0
     #: Engine health at report time (see :class:`ServerHealth`).
     health: str = ServerHealth.HEALTHY
+    #: Flight-recorder summary (``ServeTelemetry.summary()``): enabled flag,
+    #: step counts and the most recent time-window aggregates.  Empty when
+    #: the stats were built outside an engine.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def block_occupancy(self) -> float:
@@ -192,11 +223,11 @@ class ServerStats:
                       queue_depth_samples: List[int], *,
                       block_usage_samples: List[int] = (),
                       block_capacity: int = 0,
-                      prefix_hits: int = 0, prefix_misses: int = 0,
-                      prefix_tokens_reused: int = 0,
-                      faults_quarantined: int = 0, retries: int = 0,
-                      shed: int = 0,
-                      health: str = ServerHealth.HEALTHY) -> "ServerStats":
+                      counters: Optional[ServeCounters] = None,
+                      health: str = ServerHealth.HEALTHY,
+                      telemetry: Optional[Dict[str, object]] = None
+                      ) -> "ServerStats":
+        counters = counters or ServeCounters()
         terminal = [r for r in requests if r.finished_at is not None]
         finished = [r for r in terminal if r.outcome == OUTCOME_OK]
         tokens = sum(r.tokens_generated for r in finished)
@@ -240,14 +271,15 @@ class ServerStats:
                                 if block_usage else 0.0),
             peak_blocks_in_use=max(block_usage) if block_usage else 0,
             block_capacity=block_capacity,
-            prefix_hits=prefix_hits,
-            prefix_misses=prefix_misses,
-            prefix_tokens_reused=prefix_tokens_reused,
+            prefix_hits=counters.prefix_hits,
+            prefix_misses=counters.prefix_misses,
+            prefix_tokens_reused=counters.prefix_tokens_reused,
             failed=sum(r.outcome == OUTCOME_FAILED for r in terminal),
-            faults_quarantined=faults_quarantined,
-            retries=retries,
-            shed=shed,
+            faults_quarantined=counters.faults_quarantined,
+            retries=counters.retries,
+            shed=counters.shed,
             health=health,
+            telemetry=dict(telemetry or {}),
         )
 
     def report(self) -> Dict[str, object]:
@@ -284,4 +316,5 @@ class ServerStats:
             "retries": self.retries,
             "shed": self.shed,
             "health": self.health,
+            "telemetry": dict(self.telemetry),
         }

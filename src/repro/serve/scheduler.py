@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple, Type
+from typing import Deque, Dict, List, Optional, Tuple, Type
 
 from ..nn import DEFAULT_BLOCK_SIZE
 from .session import GenerationSession
@@ -241,6 +241,18 @@ class ContinuousBatchingScheduler:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def queue_depth_by_priority(self) -> Dict[int, int]:
+        """Waiting sessions per *raw* priority class (telemetry gauge).
+
+        Raw, not aged: the flight recorder wants the submitted class mix
+        (aging is derivable from the record timestamps when needed).
+        """
+        depths: Dict[int, int] = {}
+        for entry in self._queue:
+            priority = entry.session.priority
+            depths[priority] = depths.get(priority, 0) + 1
+        return depths
 
     def enqueue(self, session: GenerationSession) -> bool:
         """Queue a session for admission; False when the queue is full."""

@@ -141,7 +141,8 @@ class SessionManager:
                  ragged_prefill: bool = True,
                  prefix_cache: bool = True,
                  max_prefixes: int = 8,
-                 fault_injector: Optional[object] = None) -> None:
+                 fault_injector: Optional[object] = None,
+                 telemetry: Optional[object] = None) -> None:
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         if prefill_padding < 0:
@@ -174,6 +175,10 @@ class SessionManager:
         self.faults = fault_injector
         if fault_injector is not None:
             self.cache.fault_hook = fault_injector.fire
+        #: Optional :class:`~repro.serve.telemetry.ServeTelemetry`; the
+        #: engine wires it in only when enabled, so every instrumented site
+        #: here is a single ``is None`` check (same idiom as ``faults``).
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     @property
@@ -352,6 +357,11 @@ class SessionManager:
                 session.prompt_pos = len(session.prompt_ids)
                 self.running[session.slot] = session
                 session.state = RUNNING
+        if self.telemetry is not None:
+            # One-shot banded prefill: the whole tail is one chunk, so the
+            # flight recorder sees both prefill paths as PREFILLING entries.
+            for session, length in zip(group, lengths):
+                self.telemetry.note_prefill_chunk(session.session_id, length)
         for row, session in enumerate(group):
             self._consume_logits(session, logits.data[row, lengths[row] - 1, :])
 
@@ -530,6 +540,8 @@ class SessionManager:
         finally:
             if was_training:
                 self.model.train()
+        if self.telemetry is not None:
+            self.telemetry.note_prefill_chunk(session.session_id, take)
         if session.prompt_pos == len(session.prompt_ids):
             # Prompt complete: drop the resumable cache, join the decode
             # batch and sample the first output token from the final logits.

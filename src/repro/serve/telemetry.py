@@ -1,0 +1,745 @@
+"""Flight-recorder observability for the serve loop.
+
+``ServerStats`` answers *whether* the engine regressed (end-of-run p50/p95
+aggregates); this module answers *why*: it records what the batch looked
+like at the moment a request stalled, in the per-queue-state style the
+queuing literature shows is what actually explains tail latency (endpoint
+averages cannot).  Three layers:
+
+**Step-level tracing.**  Every engine step emits one compact
+:class:`StepRecord` — monotonic step seq, start/end timestamps, batch
+composition (which sessions were ``DECODING`` and which were
+``PREFILLING`` and how many prompt tokens each chunk committed), token-
+budget spend and deferrals, the admissions/finishes/cancellations/
+expiries/quarantines/retries/sheds of that step, queue depth per priority
+class, KV blocks in use and prefix-cache hits — into a bounded ring buffer
+(:class:`TraceLog`) with O(1) append and JSONL export.  With telemetry
+disabled every instrumented site is one ``is None`` check, so the decode
+hot path pays nothing.
+
+**Time-window aggregation.**  A :class:`WindowAggregator` folds step
+records into fixed wall-clock windows (PrintQueue-style time-window
+diagnostics): per-window queue-depth mean/max, admission/eviction/shed/
+retry/fault counts, decode and prefill token totals and mean batch
+occupancy, surfaced via ``server.telemetry.windows()`` and summarized in
+``ServerStats.report()["telemetry"]``.
+
+**Tail-latency attribution.**  :meth:`ServeTelemetry.explain_request`
+joins a finished request's worst inter-token gaps (and its TTFT) to the
+step records covering those wall-clock intervals, naming the co-batched
+decode sessions, the in-flight prefill chunks and any fault/quarantine/
+retry activity — "who was in the batch when my ITL spiked", directly
+answerable from the flight recorder instead of from guesswork.
+
+All mutation happens under the engine lock (the engine serializes steps),
+so the recorder needs no locking of its own; readers (``windows()``,
+``records()``, ``explain_request``) should be called through the engine's
+public surface which takes the lock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Batch-composition phases a session can occupy within one step record.
+PHASE_DECODING = "decoding"
+PHASE_PREFILLING = "prefilling"
+
+#: One fired fault, exactly as :attr:`repro.serve.faults.FaultInjector.
+#: fired_log` records it: ``(site, visit, action)``.
+FaultEvent = Tuple[str, int, str]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One engine step, compactly: who ran, what it cost, what went wrong.
+
+    ``decode_sessions`` lists the request ids advanced one token by this
+    step's batched decode forward (phase ``DECODING``); ``prefill_chunks``
+    pairs each request id that committed prompt tokens this step with how
+    many it committed (phase ``PREFILLING`` — one-shot banded admissions
+    appear here too, with their whole tail as a single chunk).  The
+    remaining fields are the step's event counters and end-of-step gauges.
+    """
+
+    seq: int
+    started_at: float
+    ended_at: float
+    #: Request ids advanced by the batched decode forward this step.
+    decode_sessions: Tuple[int, ...] = ()
+    #: ``(request_id, prompt_tokens_committed)`` per prefill this step.
+    prefill_chunks: Tuple[Tuple[int, int], ...] = ()
+    #: Prompt-token budget granted to prefill this step (None: unbounded).
+    prefill_budget: Optional[int] = None
+    #: Request ids popped from the queue into prefill this step.
+    admitted: Tuple[int, ...] = ()
+    #: Admissions bounced back to the queue head (budget ran dry first).
+    deferred: Tuple[int, ...] = ()
+    #: Request ids that completed (EOS / max tokens / context cap).
+    finished: Tuple[int, ...] = ()
+    #: Request ids implicated in a fault quarantine this step.
+    quarantined: Tuple[int, ...] = ()
+    #: Quarantine events contained this step (one per failed phase).
+    quarantines: int = 0
+    retries: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    shed: int = 0
+    #: Decision requests answered by task runtimes this step.
+    decisions: int = 0
+    #: Faults fired by the injector during this step (chaos runs only).
+    faults: Tuple[FaultEvent, ...] = ()
+    #: End-of-step gauges.
+    queue_depth: int = 0
+    queue_depth_by_priority: Mapping[int, int] = field(default_factory=dict)
+    blocks_in_use: int = 0
+    prefix_hits: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.ended_at - self.started_at
+
+    @property
+    def decode_tokens(self) -> int:
+        """Tokens committed by the decode phase (one per decode row)."""
+        return len(self.decode_sessions)
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Prompt tokens committed across every prefill chunk this step."""
+        return sum(tokens for _, tokens in self.prefill_chunks)
+
+    @property
+    def batch(self) -> Tuple[Tuple[int, str], ...]:
+        """Batch composition as ``(request_id, phase)`` pairs."""
+        return tuple([(sid, PHASE_DECODING) for sid in self.decode_sessions]
+                     + [(sid, PHASE_PREFILLING)
+                        for sid, _ in self.prefill_chunks])
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (the JSONL export row)."""
+        return {
+            "seq": self.seq,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "duration_s": self.duration_s,
+            "decode_sessions": list(self.decode_sessions),
+            "prefill_chunks": [list(chunk) for chunk in self.prefill_chunks],
+            "decode_tokens": self.decode_tokens,
+            "prefill_tokens": self.prefill_tokens,
+            "prefill_budget": self.prefill_budget,
+            "admitted": list(self.admitted),
+            "deferred": list(self.deferred),
+            "finished": list(self.finished),
+            "quarantined": list(self.quarantined),
+            "quarantines": self.quarantines,
+            "retries": self.retries,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "shed": self.shed,
+            "decisions": self.decisions,
+            "faults": [list(event) for event in self.faults],
+            "queue_depth": self.queue_depth,
+            "queue_depth_by_priority": {str(priority): depth
+                                        for priority, depth
+                                        in self.queue_depth_by_priority.items()},
+            "blocks_in_use": self.blocks_in_use,
+            "prefix_hits": self.prefix_hits,
+        }
+
+
+class TraceLog:
+    """Bounded ring buffer of :class:`StepRecord` with O(1) append.
+
+    The newest ``capacity`` records are retained; older ones are dropped
+    (``dropped`` counts them).  Because every committed record's ``seq`` is
+    its append index, ``for_seq`` is an O(1) ring lookup.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: List[Optional[StepRecord]] = [None] * capacity
+        self.total = 0  # records ever appended (== next record's seq)
+
+    def __len__(self) -> int:
+        return min(self.total, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring bound (oldest-first)."""
+        return max(0, self.total - self.capacity)
+
+    def append(self, record: StepRecord) -> None:
+        self._ring[self.total % self.capacity] = record
+        self.total += 1
+
+    def records(self) -> List[StepRecord]:
+        """Retained records, oldest first."""
+        if self.total <= self.capacity:
+            return [r for r in self._ring[:self.total]]
+        head = self.total % self.capacity
+        return self._ring[head:] + self._ring[:head]
+
+    def for_seq(self, seq: int) -> Optional[StepRecord]:
+        """The record with this step seq, or None when out of the window."""
+        if not 0 <= seq < self.total or seq < self.dropped:
+            return None
+        return self._ring[seq % self.capacity]
+
+    def covering(self, start: float, end: float) -> List[StepRecord]:
+        """Retained records whose [started_at, ended_at] overlaps [start, end]."""
+        return [r for r in self.records()
+                if r.ended_at >= start and r.started_at <= end]
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the retained records as JSON lines; returns the line count."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_dict()) + "\n")
+        return len(records)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One fixed wall-clock window of aggregated step activity."""
+
+    index: int
+    start_at: float
+    end_at: float
+    steps: int = 0
+    queue_depth_mean: float = 0.0
+    queue_depth_max: int = 0
+    batch_occupancy_mean: float = 0.0
+    decode_tokens: int = 0
+    prefill_tokens: int = 0
+    admissions: int = 0
+    #: Sessions that left the engine: finished + cancelled + expired + failed.
+    evictions: int = 0
+    sheds: int = 0
+    retries: int = 0
+    #: Quarantine events plus injector-fired faults inside the window.
+    faults: int = 0
+    decisions: int = 0
+    blocks_in_use_max: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "start_at": self.start_at,
+            "end_at": self.end_at,
+            "steps": self.steps,
+            "queue_depth_mean": self.queue_depth_mean,
+            "queue_depth_max": self.queue_depth_max,
+            "batch_occupancy_mean": self.batch_occupancy_mean,
+            "decode_tokens": self.decode_tokens,
+            "prefill_tokens": self.prefill_tokens,
+            "admissions": self.admissions,
+            "evictions": self.evictions,
+            "sheds": self.sheds,
+            "retries": self.retries,
+            "faults": self.faults,
+            "decisions": self.decisions,
+            "blocks_in_use_max": self.blocks_in_use_max,
+        }
+
+
+class _WindowAccumulator:
+    """Mutable per-window sums (frozen into :class:`WindowStats` on read)."""
+
+    __slots__ = ("steps", "queue_depth_sum", "queue_depth_max",
+                 "occupancy_sum", "decode_tokens", "prefill_tokens",
+                 "admissions", "evictions", "sheds", "retries", "faults",
+                 "decisions", "blocks_in_use_max")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.queue_depth_sum = 0
+        self.queue_depth_max = 0
+        self.occupancy_sum = 0
+        self.decode_tokens = 0
+        self.prefill_tokens = 0
+        self.admissions = 0
+        self.evictions = 0
+        self.sheds = 0
+        self.retries = 0
+        self.faults = 0
+        self.decisions = 0
+        self.blocks_in_use_max = 0
+
+
+class WindowAggregator:
+    """Fold step records into fixed wall-clock windows.
+
+    Windows are ``window_s`` seconds wide, anchored at the first observed
+    record (``epoch``); a record belongs to the window containing its
+    ``ended_at``.  At most ``max_windows`` windows are retained (oldest
+    dropped), bounding memory on long-lived servers.  Empty windows are
+    materialized on read (:meth:`windows`), so a quiet second between two
+    bursts shows up as an explicit zero row instead of silently vanishing.
+    """
+
+    def __init__(self, window_s: float = 1.0, max_windows: int = 512) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.window_s = window_s
+        self.max_windows = max_windows
+        self.epoch: Optional[float] = None
+        self._windows: Dict[int, _WindowAccumulator] = {}
+        self.windows_dropped = 0
+
+    def window_index(self, timestamp: float) -> int:
+        """Which window a timestamp falls in (epoch must be set)."""
+        return int((timestamp - self.epoch) // self.window_s)
+
+    def observe(self, record: StepRecord) -> None:
+        if self.epoch is None:
+            self.epoch = record.started_at
+        index = self.window_index(record.ended_at)
+        acc = self._windows.get(index)
+        if acc is None:
+            acc = self._windows[index] = _WindowAccumulator()
+            if len(self._windows) > self.max_windows:
+                oldest = min(self._windows)
+                del self._windows[oldest]
+                self.windows_dropped += 1
+        acc.steps += 1
+        acc.queue_depth_sum += record.queue_depth
+        acc.queue_depth_max = max(acc.queue_depth_max, record.queue_depth)
+        occupancy = len(record.decode_sessions) + len(record.prefill_chunks)
+        acc.occupancy_sum += occupancy
+        acc.decode_tokens += record.decode_tokens
+        acc.prefill_tokens += record.prefill_tokens
+        acc.admissions += len(record.admitted)
+        acc.evictions += (len(record.finished) + record.cancelled
+                          + record.expired + record.failed)
+        acc.sheds += record.shed
+        acc.retries += record.retries
+        acc.faults += record.quarantines + len(record.faults)
+        acc.decisions += record.decisions
+        acc.blocks_in_use_max = max(acc.blocks_in_use_max,
+                                    record.blocks_in_use)
+
+    def windows(self, fill_empty: bool = True) -> List[WindowStats]:
+        """Retained windows oldest-first (empty gaps materialized by default)."""
+        if not self._windows:
+            return []
+        lo, hi = min(self._windows), max(self._windows)
+        indices = (range(lo, hi + 1) if fill_empty
+                   else sorted(self._windows))
+        out: List[WindowStats] = []
+        for index in indices:
+            start = self.epoch + index * self.window_s
+            acc = self._windows.get(index)
+            if acc is None:
+                out.append(WindowStats(index=index, start_at=start,
+                                       end_at=start + self.window_s))
+                continue
+            out.append(WindowStats(
+                index=index, start_at=start, end_at=start + self.window_s,
+                steps=acc.steps,
+                queue_depth_mean=acc.queue_depth_sum / acc.steps,
+                queue_depth_max=acc.queue_depth_max,
+                batch_occupancy_mean=acc.occupancy_sum / acc.steps,
+                decode_tokens=acc.decode_tokens,
+                prefill_tokens=acc.prefill_tokens,
+                admissions=acc.admissions,
+                evictions=acc.evictions,
+                sheds=acc.sheds,
+                retries=acc.retries,
+                faults=acc.faults,
+                decisions=acc.decisions,
+                blocks_in_use_max=acc.blocks_in_use_max,
+            ))
+        return out
+
+
+@dataclass(frozen=True)
+class GapAttribution:
+    """One latency interval joined to the step records that covered it."""
+
+    #: The interval (wall clock, ``time.perf_counter`` domain) and its width.
+    start_at: float
+    end_at: float
+    gap_s: float
+    #: Which committed token this gap preceded (0 = the first token, i.e. a
+    #: TTFT attribution; k >= 1 = the ITL gap before token k).
+    token_index: int
+    #: Step records overlapping the interval, oldest first.
+    steps: Tuple[StepRecord, ...] = ()
+    #: Other requests decoding during the interval (the co-batched set).
+    co_sessions: Tuple[int, ...] = ()
+    #: Requests committing prefill chunks during the interval (the request
+    #: itself included — its own chunks are the explanation of its TTFT).
+    prefill_sessions: Tuple[int, ...] = ()
+    #: Fault/quarantine/retry activity inside the interval.
+    faults: Tuple[FaultEvent, ...] = ()
+    quarantined: Tuple[int, ...] = ()
+    retries: int = 0
+
+    @property
+    def culprit(self) -> Optional[StepRecord]:
+        """The overlapping step that consumed most of the interval."""
+        if not self.steps:
+            return None
+        return max(self.steps,
+                   key=lambda r: (min(self.end_at, r.ended_at)
+                                  - max(self.start_at, r.started_at)))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "start_at": self.start_at,
+            "end_at": self.end_at,
+            "gap_s": self.gap_s,
+            "token_index": self.token_index,
+            "step_seqs": [record.seq for record in self.steps],
+            "culprit_seq": self.culprit.seq if self.culprit else None,
+            "co_sessions": list(self.co_sessions),
+            "prefill_sessions": list(self.prefill_sessions),
+            "faults": [list(event) for event in self.faults],
+            "quarantined": list(self.quarantined),
+            "retries": self.retries,
+        }
+
+
+@dataclass(frozen=True)
+class RequestExplanation:
+    """Why a finished request was slow: TTFT and worst-ITL attribution."""
+
+    request_id: int
+    task: str
+    outcome: str
+    ttft_s: float
+    #: TTFT joined to the steps between submission and the first token
+    #: (None when the request never produced a token).
+    ttft: Optional[GapAttribution]
+    #: The worst inter-token gaps, largest first.
+    worst_gaps: Tuple[GapAttribution, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "task": self.task,
+            "outcome": self.outcome,
+            "ttft_s": self.ttft_s,
+            "ttft": self.ttft.to_dict() if self.ttft is not None else None,
+            "worst_gaps": [gap.to_dict() for gap in self.worst_gaps],
+        }
+
+
+class _StepDraft:
+    """Per-step accumulator the engine phases write into (engine lock held)."""
+
+    __slots__ = ("started_at", "fault_log", "fault_baseline",
+                 "decode_sessions", "prefill_chunks", "prefill_budget",
+                 "admitted", "deferred", "finished", "quarantined",
+                 "quarantines", "retries", "failed", "cancelled", "expired",
+                 "shed", "decisions", "dirty")
+
+    def __init__(self, started_at: float,
+                 fault_log: Optional[Sequence[FaultEvent]]) -> None:
+        self.started_at = started_at
+        self.fault_log = fault_log
+        self.fault_baseline = len(fault_log) if fault_log is not None else 0
+        self.decode_sessions: List[int] = []
+        self.prefill_chunks: List[Tuple[int, int]] = []
+        self.prefill_budget: Optional[int] = None
+        self.admitted: List[int] = []
+        self.deferred: List[int] = []
+        self.finished: List[int] = []
+        self.quarantined: List[int] = []
+        self.quarantines = 0
+        self.retries = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.expired = 0
+        self.shed = 0
+        self.decisions = 0
+        self.dirty = False
+
+
+class _PendingEvents:
+    """Out-of-step events (submit-side sheds, client cancels) awaiting the
+    next committed step record."""
+
+    __slots__ = ("shed", "cancelled", "expired")
+
+    def __init__(self) -> None:
+        self.shed = 0
+        self.cancelled = 0
+        self.expired = 0
+
+    def any(self) -> bool:
+        return bool(self.shed or self.cancelled or self.expired)
+
+
+class ServeTelemetry:
+    """The serve loop's flight recorder (trace + windows + attribution).
+
+    Construct enabled (the default) to record every engine step into a
+    bounded :class:`TraceLog` and fold it into :class:`WindowAggregator`
+    windows; construct with ``enabled=False`` for a permanent no-op whose
+    every note call returns immediately (the engine additionally skips
+    building the per-step id lists, so the disabled cost is one ``None``
+    check per instrumented site).  ``enabled`` is fixed at construction —
+    a toggle mid-run would leave half-recorded steps in the ring.
+    """
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 4096,
+                 window_s: float = 1.0, max_windows: int = 512) -> None:
+        self.enabled = enabled
+        self.trace = TraceLog(capacity=trace_capacity)
+        self.aggregator = WindowAggregator(window_s=window_s,
+                                           max_windows=max_windows)
+        self._draft: Optional[_StepDraft] = None
+        self._pending = _PendingEvents()
+        self._last_prefix_hits = 0
+        #: Steps begun but discarded as fully idle (nothing to record).
+        self.idle_steps = 0
+
+    # -- step lifecycle (engine lock held) ------------------------------- #
+    def begin_step(self, started_at: float,
+                   fault_log: Optional[Sequence[FaultEvent]] = None) -> None:
+        if not self.enabled:
+            return
+        self._draft = _StepDraft(started_at, fault_log)
+
+    def commit_step(self, ended_at: float, did_work: bool, queue_depth: int,
+                    queue_depth_by_priority: Mapping[int, int],
+                    blocks_in_use: int, prefix_hits_total: int) -> Optional[StepRecord]:
+        """Freeze the draft into a :class:`StepRecord` (or discard an idle one).
+
+        A step that did no work, noted no events and has no pending
+        out-of-step events is discarded — idle polling must not flood the
+        ring.  Returns the committed record, or None when discarded.
+        """
+        draft, self._draft = self._draft, None
+        if draft is None:
+            return None
+        if not (did_work or draft.dirty or self._pending.any()):
+            self.idle_steps += 1
+            return None
+        pending, self._pending = self._pending, _PendingEvents()
+        faults: Tuple[FaultEvent, ...] = ()
+        if draft.fault_log is not None:
+            faults = tuple(draft.fault_log[draft.fault_baseline:])
+        prefix_delta = max(0, prefix_hits_total - self._last_prefix_hits)
+        self._last_prefix_hits = prefix_hits_total
+        record = StepRecord(
+            seq=self.trace.total,
+            started_at=draft.started_at,
+            ended_at=ended_at,
+            decode_sessions=tuple(draft.decode_sessions),
+            prefill_chunks=tuple(draft.prefill_chunks),
+            prefill_budget=draft.prefill_budget,
+            admitted=tuple(draft.admitted),
+            deferred=tuple(draft.deferred),
+            finished=tuple(draft.finished),
+            quarantined=tuple(draft.quarantined),
+            quarantines=draft.quarantines,
+            retries=draft.retries,
+            failed=draft.failed,
+            cancelled=draft.cancelled + pending.cancelled,
+            expired=draft.expired + pending.expired,
+            shed=draft.shed + pending.shed,
+            decisions=draft.decisions,
+            faults=faults,
+            queue_depth=queue_depth,
+            queue_depth_by_priority=dict(queue_depth_by_priority),
+            blocks_in_use=blocks_in_use,
+            prefix_hits=prefix_delta,
+        )
+        self.trace.append(record)
+        self.aggregator.observe(record)
+        return record
+
+    # -- notes from the engine phases ------------------------------------ #
+    # Each is a no-op unless a step draft is open; submit-side events
+    # (sheds) and client-side events (cancels) may land between steps and
+    # are folded into the next committed record instead.
+    def _note(self) -> Optional[_StepDraft]:
+        draft = self._draft
+        if draft is not None:
+            draft.dirty = True
+        return draft
+
+    def note_decode(self, session_ids: Iterable[int]) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.decode_sessions.extend(session_ids)
+
+    def note_prefill_chunk(self, session_id: int, tokens: int) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.prefill_chunks.append((session_id, tokens))
+
+    def note_prefill_budget(self, budget: Optional[int]) -> None:
+        draft = self._draft
+        if draft is not None:
+            draft.prefill_budget = budget
+
+    def note_admitted(self, session_ids: Iterable[int]) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.admitted.extend(session_ids)
+
+    def note_deferred(self, session_id: int) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.deferred.append(session_id)
+            # A deferral never started: it does not count as admitted.
+            if session_id in draft.admitted:
+                draft.admitted.remove(session_id)
+
+    def note_finished(self, session_id: int) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.finished.append(session_id)
+
+    def note_quarantine(self, session_ids: Iterable[int]) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.quarantines += 1
+            draft.quarantined.extend(session_ids)
+
+    def note_retry(self) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.retries += 1
+
+    def note_failed(self) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.failed += 1
+
+    def note_decisions(self, count: int) -> None:
+        draft = self._note()
+        if draft is not None:
+            draft.decisions += count
+
+    def note_shed(self) -> None:
+        if not self.enabled:
+            return
+        draft = self._note()
+        if draft is not None:
+            draft.shed += 1
+        else:
+            self._pending.shed += 1
+
+    def note_cancelled(self) -> None:
+        if not self.enabled:
+            return
+        draft = self._note()
+        if draft is not None:
+            draft.cancelled += 1
+        else:
+            self._pending.cancelled += 1
+
+    def note_expired(self) -> None:
+        if not self.enabled:
+            return
+        draft = self._note()
+        if draft is not None:
+            draft.expired += 1
+        else:
+            self._pending.expired += 1
+
+    # -- read side -------------------------------------------------------- #
+    def records(self) -> List[StepRecord]:
+        """Retained step records, oldest first."""
+        return self.trace.records()
+
+    def windows(self, fill_empty: bool = True) -> List[WindowStats]:
+        """Time-window aggregates, oldest first (gaps materialized)."""
+        return self.aggregator.windows(fill_empty=fill_empty)
+
+    def export_jsonl(self, path: str) -> int:
+        """Dump the retained trace as JSON lines; returns the line count."""
+        return self.trace.export_jsonl(path)
+
+    def summary(self, max_windows: int = 16) -> Dict[str, object]:
+        """Compact JSON-friendly state for ``ServerStats.report()``."""
+        windows = self.windows() if self.enabled else []
+        return {
+            "enabled": self.enabled,
+            "window_s": self.aggregator.window_s,
+            "steps_recorded": self.trace.total,
+            "steps_retained": len(self.trace),
+            "steps_dropped": self.trace.dropped,
+            "idle_steps": self.idle_steps,
+            "windows": [w.to_dict() for w in windows[-max_windows:]],
+        }
+
+    # -- attribution ------------------------------------------------------ #
+    def explain_request(self, metrics, top_gaps: int = 3) -> RequestExplanation:
+        """Attribute a finished request's TTFT and worst ITL gaps to steps.
+
+        ``metrics`` is the request's :class:`~repro.serve.metrics.
+        RequestMetrics`.  Token commit times are reconstructed from
+        ``first_token_at`` plus the recorded inter-token gaps; each
+        interval is joined to the step records covering it.  Only the
+        trace window is consulted — a gap older than the ring retains
+        attributes to zero steps (the explanation says so via empty
+        ``steps``), never to wrong ones.
+        """
+        if not self.enabled:
+            raise RuntimeError(
+                "telemetry is disabled for this server; construct the "
+                "engine with telemetry enabled to record step traces")
+        if metrics.finished_at is None:
+            raise ValueError(
+                f"request {metrics.request_id} has not finished; "
+                f"explain_request attributes completed requests")
+        ttft_attr: Optional[GapAttribution] = None
+        worst: List[GapAttribution] = []
+        if metrics.first_token_at is not None:
+            ttft_attr = self._attribute(
+                metrics.submitted_at, metrics.first_token_at,
+                metrics.first_token_at - metrics.submitted_at,
+                token_index=0, request_id=metrics.request_id)
+            # Absolute commit time of token k: first_token_at plus the
+            # recorded gaps (token_seconds[0] is the prefill gap, part of
+            # TTFT; entries 1.. are the ITL gaps).
+            commit_at = metrics.first_token_at
+            gaps: List[Tuple[float, int, float, float]] = []
+            for index, gap in enumerate(metrics.token_seconds[1:], start=1):
+                start = commit_at
+                commit_at += gap
+                gaps.append((gap, index, start, commit_at))
+            gaps.sort(key=lambda item: -item[0])
+            for gap, index, start, end in gaps[:max(0, top_gaps)]:
+                worst.append(self._attribute(start, end, gap, index,
+                                             metrics.request_id))
+        return RequestExplanation(
+            request_id=metrics.request_id,
+            task=metrics.task,
+            outcome=metrics.outcome,
+            ttft_s=metrics.ttft_s,
+            ttft=ttft_attr,
+            worst_gaps=tuple(worst),
+        )
+
+    def _attribute(self, start: float, end: float, gap_s: float,
+                   token_index: int, request_id: Optional[int]) -> GapAttribution:
+        steps = tuple(self.trace.covering(start, end))
+        co = sorted({sid for record in steps
+                     for sid in record.decode_sessions} - {request_id})
+        prefills = sorted({sid for record in steps
+                           for sid, _ in record.prefill_chunks})
+        faults = tuple(event for record in steps for event in record.faults)
+        quarantined = sorted({sid for record in steps
+                              for sid in record.quarantined})
+        retries = sum(record.retries for record in steps)
+        return GapAttribution(
+            start_at=start, end_at=end, gap_s=gap_s, token_index=token_index,
+            steps=steps, co_sessions=tuple(co),
+            prefill_sessions=tuple(prefills), faults=faults,
+            quarantined=tuple(quarantined), retries=retries)

@@ -29,7 +29,11 @@ EXPECTED_ALL = {
     "ContinuousBatchingScheduler", "SchedulerPolicy", "RetryPolicy",
     "GenerationSession", "SessionManager",
     "PrefixCache", "PrefixEntry",
-    "RequestMetrics", "ServerStats", "ServerHealth",
+    "RequestMetrics", "ServeCounters", "ServerStats", "ServerHealth",
+    # Flight-recorder observability (trace / windows / attribution).
+    "ServeTelemetry", "StepRecord", "TraceLog",
+    "WindowAggregator", "WindowStats",
+    "GapAttribution", "RequestExplanation",
     # Fault injection (chaos testing; gated behind REPRO_FAULTS).
     "FaultInjector", "FaultSpec", "InjectedFault", "TransientFault",
     "FAULT_SITES",

@@ -25,6 +25,7 @@ from repro.serve import (
     RequestCancelled,
     RequestMetrics,
     SchedulerPolicy,
+    ServeCounters,
     ServerStats,
     SessionManager,
 )
@@ -609,15 +610,21 @@ class TestMetricsAggregation:
         assert request.queue_seconds == pytest.approx(0.5)
         assert request.decode_seconds == pytest.approx(1.5)
         assert request.total_seconds == pytest.approx(2.0)
-        assert request.time_to_first_token == pytest.approx(0.75)
+        assert request.ttft_s == pytest.approx(0.75)
         assert request.mean_batch_size == pytest.approx(3.0)
+
+    def test_time_to_first_token_alias_deprecated(self):
+        request = self._request("generate", submitted=10.0, admitted=10.5,
+                                finished=12.0, tokens=8, first_token=10.75)
+        with pytest.warns(DeprecationWarning, match="ttft_s"):
+            assert request.time_to_first_token == pytest.approx(0.75)
 
     def test_request_metrics_defaults_before_completion(self):
         request = RequestMetrics(task="vp")
         assert request.queue_seconds == 0.0
         assert request.decode_seconds == 0.0
         assert request.total_seconds == 0.0
-        assert request.time_to_first_token == 0.0
+        assert request.ttft_s == 0.0
         assert request.mean_batch_size == 0.0
 
     def test_server_stats_percentiles_and_counts(self):
@@ -633,7 +640,8 @@ class TestMetricsAggregation:
             requests + [unfinished], wall_seconds=10.0,
             occupancy_samples=[1, 2, 3, 4], queue_depth_samples=[0, 5, 2],
             block_usage_samples=[4, 8, 12], block_capacity=16,
-            prefix_hits=3, prefix_misses=1, prefix_tokens_reused=75)
+            counters=ServeCounters(prefix_hits=3, prefix_misses=1,
+                                   prefix_tokens_reused=75))
         assert stats.requests_completed == 20
         assert stats.tokens_generated == sum(range(1, 21))
         assert stats.tokens_per_second == pytest.approx(stats.tokens_generated / 10.0)

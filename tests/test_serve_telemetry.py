@@ -1,0 +1,407 @@
+"""Flight-recorder observability suite (``repro.serve.telemetry``).
+
+Covers the trace ring buffer (O(1) seq lookup, wraparound), the wall-clock
+window aggregator (empty windows, boundary landing, bounded retention), the
+disabled no-op paths, the engine integration (step records, JSONL export,
+``ServerStats.report()["telemetry"]``), and the headline acceptance test:
+a seeded ``decode.step`` delay fault produces an ITL spike that
+``explain_request`` attributes to the correct step record — right seq,
+right co-batched session set, right fault event.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm import LanguageModel
+from repro.llm.config import LLMConfig
+from repro.serve import (
+    FaultInjector,
+    FaultSpec,
+    GenerationSession,
+    InferenceServer,
+    SchedulerPolicy,
+    ServeTelemetry,
+    StepRecord,
+    TraceLog,
+    WindowAggregator,
+)
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = LLMConfig(name="telemetry-test", family="test", d_model=32,
+                       num_layers=2, num_heads=2, max_seq_len=64)
+    return LanguageModel(config, seed=3)
+
+
+def _record(seq, start, end, **fields):
+    return StepRecord(seq=seq, started_at=start, ended_at=end, **fields)
+
+
+# ---------------------------------------------------------------------- #
+# TraceLog ring buffer
+# ---------------------------------------------------------------------- #
+class TestTraceLog:
+    def test_append_and_seq_lookup(self):
+        log = TraceLog(capacity=8)
+        for seq in range(5):
+            log.append(_record(seq, float(seq), float(seq) + 0.5))
+        assert len(log) == 5 and log.dropped == 0
+        assert [r.seq for r in log.records()] == [0, 1, 2, 3, 4]
+        assert log.for_seq(3).started_at == 3.0
+        assert log.for_seq(5) is None  # never appended
+        assert log.for_seq(-1) is None
+
+    def test_wraparound_drops_oldest(self):
+        # A long run: 20 records through a 6-slot ring.
+        log = TraceLog(capacity=6)
+        for seq in range(20):
+            log.append(_record(seq, float(seq), float(seq) + 0.5))
+        assert log.total == 20 and len(log) == 6
+        assert log.dropped == 14
+        assert [r.seq for r in log.records()] == list(range(14, 20))
+        # Rotated-out seqs resolve to None, never to a wrong record.
+        assert log.for_seq(13) is None
+        assert log.for_seq(14).seq == 14 and log.for_seq(19).seq == 19
+
+    def test_covering_interval_overlap(self):
+        log = TraceLog(capacity=8)
+        for seq in range(4):
+            log.append(_record(seq, float(seq), float(seq) + 1.0))
+        assert [r.seq for r in log.covering(1.5, 2.5)] == [1, 2]
+        assert [r.seq for r in log.covering(0.0, 10.0)] == [0, 1, 2, 3]
+        assert log.covering(8.0, 9.0) == []
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceLog(capacity=0)
+
+    def test_export_jsonl(self, tmp_path):
+        log = TraceLog(capacity=4)
+        for seq in range(3):
+            log.append(_record(seq, float(seq), float(seq) + 0.5,
+                               decode_sessions=(1, 2)))
+        path = tmp_path / "trace.jsonl"
+        assert log.export_jsonl(str(path)) == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["seq"] for row in rows] == [0, 1, 2]
+        assert rows[0]["decode_sessions"] == [1, 2]
+        assert rows[0]["decode_tokens"] == 2
+
+
+# ---------------------------------------------------------------------- #
+# Window aggregation edge cases
+# ---------------------------------------------------------------------- #
+class TestWindowAggregator:
+    def test_empty_windows_materialized(self):
+        agg = WindowAggregator(window_s=1.0)
+        agg.observe(_record(0, 0.0, 0.5, decode_sessions=(1,)))
+        agg.observe(_record(1, 3.2, 3.5, decode_sessions=(1,)))
+        windows = agg.windows()
+        assert [w.index for w in windows] == [0, 1, 2, 3]
+        assert windows[1].steps == 0 and windows[2].steps == 0
+        assert windows[0].decode_tokens == 1 and windows[3].decode_tokens == 1
+        # The sparse view skips the quiet gap entirely.
+        assert [w.index for w in agg.windows(fill_empty=False)] == [0, 3]
+
+    def test_record_on_window_boundary(self):
+        # A record ending exactly at the boundary lands in the next window
+        # (windows are [start, start + window_s) half-open).
+        agg = WindowAggregator(window_s=1.0)
+        agg.observe(_record(0, 0.0, 0.5))
+        agg.observe(_record(1, 0.9, 1.0, decode_sessions=(7,)))
+        windows = agg.windows()
+        assert windows[0].steps == 1 and windows[1].steps == 1
+        assert windows[1].decode_tokens == 1
+
+    def test_request_spanning_boundary_splits_tokens(self):
+        # One request decoding across a boundary: each window counts only
+        # the steps that ended inside it; nothing is lost or double-counted.
+        agg = WindowAggregator(window_s=1.0)
+        spans = [(0.0, 0.4), (0.5, 0.8), (0.9, 1.2), (1.3, 1.6)]
+        for seq, (start, end) in enumerate(spans):
+            agg.observe(_record(seq, start, end, decode_sessions=(42,)))
+        windows = agg.windows()
+        assert [w.decode_tokens for w in windows] == [2, 2]
+        assert sum(w.decode_tokens for w in windows) == 4
+
+    def test_bounded_retention_drops_oldest(self):
+        agg = WindowAggregator(window_s=1.0, max_windows=3)
+        for seq in range(6):  # one record per window 0..5
+            agg.observe(_record(seq, float(seq), float(seq) + 0.1))
+        assert agg.windows_dropped == 3
+        assert [w.index for w in agg.windows()] == [3, 4, 5]
+
+    def test_aggregate_sums_and_means(self):
+        agg = WindowAggregator(window_s=10.0)
+        agg.observe(_record(0, 0.0, 0.1, decode_sessions=(1, 2),
+                            prefill_chunks=((3, 8),), queue_depth=4,
+                            admitted=(3,), finished=(9,), shed=1,
+                            retries=2, quarantines=1,
+                            faults=(("decode.step", 5, "delay"),),
+                            blocks_in_use=7))
+        agg.observe(_record(1, 0.2, 0.3, decode_sessions=(1,),
+                            queue_depth=2, cancelled=1, blocks_in_use=3))
+        (window,) = agg.windows()
+        assert window.steps == 2
+        assert window.queue_depth_mean == pytest.approx(3.0)
+        assert window.queue_depth_max == 4
+        assert window.batch_occupancy_mean == pytest.approx(2.0)  # (3 + 1) / 2
+        assert window.decode_tokens == 3 and window.prefill_tokens == 8
+        assert window.admissions == 1
+        assert window.evictions == 2  # finished + cancelled
+        assert window.sheds == 1 and window.retries == 2
+        assert window.faults == 2  # one quarantine + one injector fire
+        assert window.blocks_in_use_max == 7
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="window_s"):
+            WindowAggregator(window_s=0.0)
+        with pytest.raises(ValueError, match="max_windows"):
+            WindowAggregator(max_windows=0)
+
+
+# ---------------------------------------------------------------------- #
+# ServeTelemetry step lifecycle
+# ---------------------------------------------------------------------- #
+class TestServeTelemetry:
+    def test_idle_steps_discarded(self):
+        telemetry = ServeTelemetry()
+        for _ in range(5):
+            telemetry.begin_step(0.0)
+            assert telemetry.commit_step(0.1, did_work=False, queue_depth=0,
+                                         queue_depth_by_priority={},
+                                         blocks_in_use=0,
+                                         prefix_hits_total=0) is None
+        assert telemetry.idle_steps == 5 and len(telemetry.records()) == 0
+
+    def test_out_of_step_events_fold_into_next_record(self):
+        telemetry = ServeTelemetry()
+        # Shed at submit time and a client-thread cancel, both between steps.
+        telemetry.note_shed()
+        telemetry.note_cancelled()
+        telemetry.begin_step(1.0)
+        record = telemetry.commit_step(1.1, did_work=False, queue_depth=0,
+                                       queue_depth_by_priority={},
+                                       blocks_in_use=0, prefix_hits_total=0)
+        assert record is not None  # pending events rescue an idle step
+        assert record.shed == 1 and record.cancelled == 1
+        # Folded exactly once.
+        telemetry.note_decode([1])
+        telemetry.begin_step(2.0)
+        second = telemetry.commit_step(2.1, did_work=True, queue_depth=0,
+                                       queue_depth_by_priority={},
+                                       blocks_in_use=0, prefix_hits_total=0)
+        assert second.shed == 0 and second.cancelled == 0
+
+    def test_deferred_admission_not_counted_admitted(self):
+        telemetry = ServeTelemetry()
+        telemetry.begin_step(0.0)
+        telemetry.note_admitted([4, 5])
+        telemetry.note_deferred(5)
+        record = telemetry.commit_step(0.1, did_work=True, queue_depth=1,
+                                       queue_depth_by_priority={0: 1},
+                                       blocks_in_use=0, prefix_hits_total=0)
+        assert record.admitted == (4,) and record.deferred == (5,)
+
+    def test_prefix_hit_gauge_is_per_step_delta(self):
+        telemetry = ServeTelemetry()
+        telemetry.begin_step(0.0)
+        telemetry.note_decode([1])
+        first = telemetry.commit_step(0.1, True, 0, {}, 0,
+                                      prefix_hits_total=3)
+        telemetry.begin_step(0.2)
+        telemetry.note_decode([1])
+        second = telemetry.commit_step(0.3, True, 0, {}, 0,
+                                       prefix_hits_total=4)
+        assert first.prefix_hits == 3 and second.prefix_hits == 1
+
+    def test_disabled_is_noop_everywhere(self):
+        telemetry = ServeTelemetry(enabled=False)
+        telemetry.begin_step(0.0)
+        telemetry.note_decode([1])
+        telemetry.note_shed()
+        telemetry.note_cancelled()
+        telemetry.note_expired()
+        assert telemetry.commit_step(0.1, did_work=True, queue_depth=0,
+                                     queue_depth_by_priority={},
+                                     blocks_in_use=0,
+                                     prefix_hits_total=0) is None
+        assert telemetry.records() == [] and telemetry.windows() == []
+        summary = telemetry.summary()
+        assert summary["enabled"] is False and summary["windows"] == []
+        with pytest.raises(RuntimeError, match="disabled"):
+            telemetry.explain_request(object())
+
+
+# ---------------------------------------------------------------------- #
+# Engine integration
+# ---------------------------------------------------------------------- #
+class TestEngineTelemetry:
+    def test_step_records_cover_a_generation(self, model):
+        server = InferenceServer(model=model)
+        first = server.submit_generation("the quick brown fox",
+                                         max_new_tokens=6)
+        second = server.submit_generation("jumps over the lazy dog",
+                                          max_new_tokens=6)
+        server.run_until_idle()
+        first.result(); second.result()
+        records = server.telemetry.records()
+        assert records, "an enabled recorder must capture the run"
+        assert [r.seq for r in records] == list(range(len(records)))
+        admitted = [sid for r in records for sid in r.admitted]
+        assert set(admitted) == {first.request_id, second.request_id}
+        prefilled = {sid for r in records for sid, _ in r.prefill_chunks}
+        assert prefilled == {first.request_id, second.request_id}
+        # Mid-run steps decode both sessions batched together.
+        assert any(set(r.decode_sessions) == {first.request_id,
+                                             second.request_id}
+                   for r in records)
+        finished = [sid for r in records for sid in r.finished]
+        assert set(finished) == {first.request_id, second.request_id}
+        # The window view sees every decode token the trace recorded.
+        assert (sum(w.decode_tokens for w in server.telemetry.windows())
+                == sum(r.decode_tokens for r in records))
+
+    def test_disabled_engine_pays_no_bookkeeping(self, model):
+        server = InferenceServer(model=model, telemetry=False)
+        assert server._trace is None  # hot-path guard collapses to one check
+        assert server._manager.telemetry is None
+        handle = server.submit_generation("hello", max_new_tokens=4)
+        server.run_until_idle()
+        handle.result()
+        assert server.telemetry.records() == []
+        assert server.stats().report()["telemetry"]["enabled"] is False
+        with pytest.raises(RuntimeError, match="disabled"):
+            server.explain_request(handle.request_id)
+
+    def test_trace_ring_wraps_during_long_run(self, model):
+        telemetry = ServeTelemetry(trace_capacity=4)
+        server = InferenceServer(model=model, telemetry=telemetry)
+        handle = server.submit_generation("count with me", max_new_tokens=12)
+        server.run_until_idle()
+        handle.result()
+        assert telemetry.trace.total > 4
+        records = server.telemetry.records()
+        assert len(records) == 4
+        assert [r.seq for r in records] == list(
+            range(telemetry.trace.total - 4, telemetry.trace.total))
+        assert telemetry.trace.dropped == telemetry.trace.total - 4
+
+    def test_jsonl_export_roundtrips(self, model, tmp_path):
+        server = InferenceServer(model=model)
+        server.submit_generation("export me", max_new_tokens=4).result()
+        path = tmp_path / "steps.jsonl"
+        count = server.telemetry.export_jsonl(str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == count == len(server.telemetry.records())
+        assert all("decode_sessions" in row and "queue_depth" in row
+                   for row in rows)
+
+    def test_stats_report_carries_telemetry_and_stays_compatible(self, model):
+        server = InferenceServer(model=model)
+        server.submit_generation("stats please", max_new_tokens=4).result()
+        report = server.stats().report()
+        # Backward-compatible keys survive the ServeCounters refactor.
+        for key in ("tokens_per_second", "prefix_hits", "faults_quarantined",
+                    "retries", "shed", "health", "itl_p95_s"):
+            assert key in report
+        telemetry = report["telemetry"]
+        assert telemetry["enabled"] is True
+        assert telemetry["steps_recorded"] > 0
+        assert telemetry["windows"], "at least one window must be live"
+        assert "queue_depth_mean" in telemetry["windows"][-1]
+
+    def test_shed_lands_in_trace(self, model):
+        server = InferenceServer(
+            model=model, policy=SchedulerPolicy(shed_queue_depth=1))
+        first = server.submit_generation("one", max_new_tokens=4)
+        shed = server.submit_generation("two", max_new_tokens=4)
+        server.run_until_idle()
+        first.result()
+        assert shed.done() and not shed.cancelled()
+        assert sum(r.shed for r in server.telemetry.records()) == 1
+
+    def test_queue_depth_by_priority_gauge(self):
+        scheduler = ContinuousBatchingScheduler()
+        for priority in (0, 0, 2):
+            scheduler.enqueue(GenerationSession(session_id=priority + 10,
+                                                prompt="x",
+                                                priority=priority))
+        assert scheduler.queue_depth_by_priority() == {0: 2, 2: 1}
+
+
+# ---------------------------------------------------------------------- #
+# Tail-latency attribution (the acceptance test)
+# ---------------------------------------------------------------------- #
+class TestExplainRequest:
+    def test_fault_delay_attributed_to_culprit_step(self, model, monkeypatch):
+        """A seeded decode.step delay must be fingered by explain_request.
+
+        The injector stalls decode visit 5 for 80ms — an ITL spike two
+        orders of magnitude above this model's ~1ms steps.  The recorder
+        must attribute each victim's worst gap to exactly that step record:
+        correct seq, the co-batched sibling session, and the fault event.
+        """
+        monkeypatch.setenv("REPRO_FAULTS", "1")
+        injector = FaultInjector(
+            [FaultSpec(site="decode.step", at=5, action="delay",
+                       delay_s=0.08)], seed=11)
+        server = InferenceServer(model=model, fault_injector=injector)
+        first = server.submit_generation("tell me a story",
+                                         max_new_tokens=12)
+        second = server.submit_generation("sing me a song",
+                                          max_new_tokens=12)
+        server.run_until_idle()
+        first.result(); second.result()
+
+        assert injector.total_fired == 1
+        fault_steps = [r for r in server.telemetry.records() if r.faults]
+        assert len(fault_steps) == 1, "the delay fires inside exactly one step"
+        culprit_step = fault_steps[0]
+        assert culprit_step.faults == (("decode.step", 5, "delay"),)
+        assert set(culprit_step.decode_sessions) == {first.request_id,
+                                                     second.request_id}
+
+        for victim, sibling in ((first, second), (second, first)):
+            explanation = server.explain_request(victim.request_id)
+            assert explanation.request_id == victim.request_id
+            assert explanation.outcome == "ok"
+            worst = explanation.worst_gaps[0]
+            # The spike dwarfs ordinary steps and sits on the delayed step.
+            assert worst.gap_s >= 0.08
+            assert worst.culprit is not None
+            assert worst.culprit.seq == culprit_step.seq
+            assert sibling.request_id in worst.co_sessions
+            assert victim.request_id not in worst.co_sessions
+            assert ("decode.step", 5, "delay") in worst.faults
+            # The JSON view names the culprit too.
+            as_dict = explanation.to_dict()
+            assert as_dict["worst_gaps"][0]["culprit_seq"] == culprit_step.seq
+
+    def test_ttft_attribution_names_own_prefill(self, model):
+        # Chunked prefill: a long prompt's TTFT is explained by its own
+        # PREFILLING chunks across several step records.
+        policy = SchedulerPolicy(prefill_chunk_size=4, step_token_budget=8)
+        server = InferenceServer(model=model, policy=policy)
+        prompt = "a much longer prompt that certainly spans several chunks"
+        handle = server.submit_generation(prompt, max_new_tokens=3)
+        server.run_until_idle()
+        handle.result()
+        explanation = server.explain_request(handle.request_id)
+        assert explanation.ttft is not None
+        assert explanation.ttft.token_index == 0
+        assert handle.request_id in explanation.ttft.prefill_sessions
+        chunked = [r for r in explanation.ttft.steps
+                   if any(sid == handle.request_id
+                          for sid, _ in r.prefill_chunks)]
+        assert len(chunked) >= 2, "chunked prefill spans multiple steps"
+
+    def test_unknown_or_inflight_request_raises(self, model):
+        server = InferenceServer(model=model)
+        with pytest.raises(KeyError, match="no completed request"):
+            server.explain_request(999)

@@ -9,6 +9,7 @@ setup(
         "repro",
         "repro.abr",
         "repro.abr.baselines",
+        "repro.analysis",
         "repro.cjs",
         "repro.cjs.baselines",
         "repro.core",

@@ -1,0 +1,418 @@
+"""REP006 — static lock discipline for the threaded serving engine.
+
+The serving stack runs real threads: the engine's serve loop, caller
+threads inside ``submit()``/``stream()``/``cancel()``, and test harness
+threads.  Its locking design is deliberately simple — one reentrant engine
+lock, a condition variable wrapping that same lock, everything else
+documented as engine-lock-protected — and this module checks the two ways
+that design rots:
+
+1. **Lock-order cycles.**  Every lexical ``with self._a:`` nesting (also
+   through direct ``self._method()`` calls, using each method's transitive
+   acquired-lock set) contributes an edge ``a -> b`` to a per-class
+   lock-order graph.  A cycle in that graph is a potential deadlock: two
+   threads taking the same locks in opposite orders.
+
+2. **Cross-thread unlocked access.**  An attribute written under a lock in
+   one method but read with no lock held in code reachable from a thread
+   entry point (public methods, ``threading.Thread(target=self._x)``
+   targets) is a torn-read/stale-read hazard.  Attributes only ever
+   written in ``__init__`` are exempt — they are immutable after
+   publication.
+
+Scope and honesty: the analysis is lexical.  It sees ``with`` blocks, not
+bare ``.acquire()``/``.release()`` pairs (the repo has none, and the rule
+keeps it that way by construction: manual pairs are invisible to the
+checker, so they never gain "checked" status).  Classes that own no lock
+attribute are skipped entirely — ``SessionManager`` and friends are
+engine-lock-protected by documented design and single-threaded from the
+lock owner's point of view.
+
+``build_lock_graph`` is exported standalone so the fast-lane gate can
+assert the current ``repro.serve`` graph is cycle-free as a named
+invariant, not just "zero findings".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .registry import Rule, register
+from .walker import Project, SourceFile
+
+#: Constructor names that create a lock-like object.
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+
+#: Mutating container methods: a ``self.attr.append(x)`` call is a write
+#: to ``attr`` for discipline purposes.
+_MUTATOR_METHODS = {"append", "extend", "insert", "add", "remove", "discard",
+                    "pop", "popleft", "popitem", "clear", "update",
+                    "setdefault", "appendleft", "sort"}
+
+
+def _ctor_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (else None)."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Per-method facts
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class AttrAccess:
+    attr: str
+    line: int
+    col: int
+    is_write: bool
+    held: FrozenSet[str]
+
+
+@dataclass
+class MethodFacts:
+    name: str
+    line: int
+    #: Locks this method acquires lexically: (lock, held-at-acquisition).
+    acquisitions: List[Tuple[str, FrozenSet[str]]] = field(
+        default_factory=list)
+    #: Direct ``self._m()`` calls: (callee, held-at-call-site, line).
+    calls: List[Tuple[str, FrozenSet[str], int]] = field(default_factory=list)
+    accesses: List[AttrAccess] = field(default_factory=list)
+    #: Locks ever acquired here or in any transitively-called method
+    #: (filled by the fixpoint in :class:`LockClass`).
+    all_acquired: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class LockClass:
+    """Lock-discipline facts for one lock-owning class."""
+
+    file: SourceFile
+    node: ast.ClassDef
+    #: attr -> canonical lock it acquires (``Condition(self._lock)``
+    #: canonicalizes to ``_lock``; a bare ``Condition()`` is its own lock).
+    locks: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, MethodFacts] = field(default_factory=dict)
+    #: Method names a ``threading.Thread(target=self.X)`` points at.
+    thread_targets: Set[str] = field(default_factory=set)
+    #: Attributes assigned anywhere in ``__init__``.
+    init_attrs: Set[str] = field(default_factory=set)
+    #: Attributes assigned outside ``__init__``.
+    mutated_attrs: Set[str] = field(default_factory=set)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.file.rel}::{self.node.name}"
+
+    # ----- extraction ------------------------------------------------- #
+
+    def extract(self) -> None:
+        self._find_locks()
+        if not self.locks:
+            return
+        for stmt in self.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_method(stmt)
+        self._close_acquired_sets()
+
+    def _find_locks(self) -> None:
+        for node in ast.walk(self.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            attr = _self_attr(node.targets[0])
+            if attr is None or not isinstance(node.value, ast.Call):
+                continue
+            ctor = _ctor_name(node.value)
+            if ctor not in _LOCK_CTORS:
+                continue
+            canonical = attr
+            if ctor == "Condition" and node.value.args:
+                wrapped = _self_attr(node.value.args[0])
+                if wrapped is not None:
+                    canonical = wrapped  # Condition(self._lock) IS _lock
+            self.locks[attr] = canonical
+
+    def _extract_method(self, method: ast.FunctionDef) -> None:
+        facts = MethodFacts(name=method.name, line=method.lineno)
+        self.methods[method.name] = facts
+        for stmt in method.body:
+            self._walk(stmt, frozenset(), facts, method.name)
+
+    def _walk(self, node: ast.AST, held: FrozenSet[str],
+              facts: MethodFacts, method_name: str) -> None:
+        if isinstance(node, ast.With):
+            acquired: Set[str] = set()
+            for item in node.items:
+                self._walk(item.context_expr, held, facts, method_name)
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    facts.acquisitions.append((lock, held | acquired))
+                    acquired.add(lock)
+            inner = held | acquired
+            for stmt in node.body:
+                self._walk(stmt, inner, facts, method_name)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested defs run later, under unknown lock state
+        self._record(node, held, facts, method_name)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held, facts, method_name)
+
+    def _lock_of(self, expr: ast.AST) -> Optional[str]:
+        attr = _self_attr(expr)
+        if attr is not None and attr in self.locks:
+            return self.locks[attr]
+        return None
+
+    def _record(self, node: ast.AST, held: FrozenSet[str],
+                facts: MethodFacts, method_name: str) -> None:
+        if isinstance(node, ast.Call):
+            callee = _self_attr(node.func)
+            if callee is not None:
+                facts.calls.append((callee, held, node.lineno))
+            # Thread(target=self._serve_loop) marks a thread entry point.
+            if _ctor_name(node) == "Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        target = _self_attr(kw.value)
+                        if target is not None:
+                            self.thread_targets.add(target)
+            # self.attr.append(...) mutates attr.
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS):
+                receiver = _self_attr(node.func.value)
+                if receiver is not None and receiver not in self.locks:
+                    self._note_access(receiver, node, True, held, method_name,
+                                      facts)
+        elif isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is None or attr in self.locks:
+                return
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            # `self.x[k] = v` / `self.x[k] += v`: the subscript stores,
+            # the attribute itself loads — but it IS a mutation of x.
+            parent = self.file.parent(node)
+            if (isinstance(parent, ast.Subscript)
+                    and isinstance(parent.ctx, (ast.Store, ast.Del))):
+                is_write = True
+            gp = self.file.parent(parent) if parent is not None else None
+            if (isinstance(parent, ast.Subscript)
+                    and isinstance(gp, ast.AugAssign)
+                    and gp.target is parent):
+                is_write = True
+            self._note_access(attr, node, is_write, held, method_name, facts)
+
+    def _note_access(self, attr: str, node: ast.AST, is_write: bool,
+                     held: FrozenSet[str], method_name: str,
+                     facts: MethodFacts) -> None:
+        facts.accesses.append(AttrAccess(
+            attr=attr, line=node.lineno, col=node.col_offset,
+            is_write=is_write, held=held))
+        if is_write:
+            if method_name == "__init__":
+                self.init_attrs.add(attr)
+            else:
+                self.mutated_attrs.add(attr)
+        elif method_name == "__init__":
+            # Plain assigns in __init__ (Store ctx) also land here via the
+            # Store branch above; Loads in __init__ are publication-safe.
+            pass
+        if method_name == "__init__" and is_write:
+            self.init_attrs.add(attr)
+
+    def _close_acquired_sets(self) -> None:
+        """Fixpoint: each method's transitive acquired-lock set."""
+        for facts in self.methods.values():
+            facts.all_acquired = {lock for lock, _ in facts.acquisitions}
+        changed = True
+        while changed:
+            changed = False
+            for facts in self.methods.values():
+                for callee, _, _ in facts.calls:
+                    target = self.methods.get(callee)
+                    if target is None:
+                        continue
+                    extra = target.all_acquired - facts.all_acquired
+                    if extra:
+                        facts.all_acquired |= extra
+                        changed = True
+
+    # ----- lock-order graph ------------------------------------------- #
+
+    def order_edges(self) -> Dict[str, Set[str]]:
+        """``held -> then-acquired`` edges (direct and via self-calls)."""
+        edges: Dict[str, Set[str]] = {lock: set()
+                                      for lock in set(self.locks.values())}
+        for facts in self.methods.values():
+            for lock, held in facts.acquisitions:
+                for outer in held:
+                    if outer != lock:  # reentrant re-acquisition is fine
+                        edges.setdefault(outer, set()).add(lock)
+            for callee, held, _ in facts.calls:
+                target = self.methods.get(callee)
+                if target is None or not held:
+                    continue
+                for inner in target.all_acquired:
+                    for outer in held:
+                        if outer != inner:
+                            edges.setdefault(outer, set()).add(inner)
+        return edges
+
+    # ----- cross-thread unlocked access ------------------------------- #
+
+    def entry_points(self) -> Set[str]:
+        """Methods other threads call into: the public surface plus
+        explicit ``Thread(target=...)`` targets."""
+        entries = set(self.thread_targets)
+        for name, facts in self.methods.items():
+            if not name.startswith("_"):
+                entries.add(name)
+        entries.discard("__init__")
+        return entries
+
+    def may_run_unlocked(self) -> Set[str]:
+        """Methods reachable, with no lock held, from an entry point."""
+        unlocked = set(self.entry_points())
+        changed = True
+        while changed:
+            changed = False
+            for name in list(unlocked):
+                facts = self.methods.get(name)
+                if facts is None:
+                    continue
+                for callee, held, _ in facts.calls:
+                    if not held and callee in self.methods \
+                            and callee not in unlocked:
+                        unlocked.add(callee)
+                        changed = True
+        return unlocked
+
+
+def extract_lock_classes(project: Project) -> List[LockClass]:
+    """Every lock-owning class in the project, facts extracted."""
+    classes: List[LockClass] = []
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = LockClass(file=file, node=node)
+            cls.extract()
+            if cls.locks:
+                classes.append(cls)
+    return classes
+
+
+def build_lock_graph(project: Project) -> Dict[str, Dict[str, Set[str]]]:
+    """``class qualname -> {lock -> locks acquired while holding it}``.
+
+    The fast-lane gate asserts ``find_cycles`` of every graph is empty —
+    "the serve stack's lock-order graph is cycle-free" is a named project
+    invariant, kept true by machine.
+    """
+    return {cls.qualname: cls.order_edges()
+            for cls in extract_lock_classes(project)}
+
+
+def find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles in a small lock graph (DFS, deduplicated by
+    rotation so each cycle reports once)."""
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[str],
+            on_path: Set[str]) -> None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt == start:
+                rotation = min(range(len(path)),
+                               key=lambda i: path[i:] + path[:i])
+                key = tuple(path[rotation:] + path[:rotation])
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(list(key))
+            elif nxt not in on_path and nxt > start:
+                # Only explore nodes > start: each cycle is found exactly
+                # once, rooted at its smallest node.
+                path.append(nxt)
+                on_path.add(nxt)
+                dfs(start, nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    for start in sorted(edges):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+@register
+class LockDiscipline(Rule):
+    """Potential deadlocks and cross-thread unlocked access."""
+
+    id = "REP006"
+    title = "lock discipline (order cycles, cross-thread unlocked access)"
+    hint = ("deadlock cycles: pick one global acquisition order; unlocked "
+            "access: take the (reentrant) lock around the read, or prove "
+            "the attribute is only touched by one thread and note why "
+            "in a noqa")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for cls in extract_lock_classes(project):
+            yield from self._check_order(cls)
+            yield from self._check_unlocked(cls)
+
+    def _check_order(self, cls: LockClass) -> Iterable[Finding]:
+        for cycle in find_cycles(cls.order_edges()):
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield self.finding(
+                cls.file.rel, cls.node.lineno, cls.node.col_offset,
+                f"lock-order cycle in {cls.node.name}: {chain} — two "
+                f"threads taking these locks in opposite orders deadlock")
+
+    def _check_unlocked(self, cls: LockClass) -> Iterable[Finding]:
+        # Which attributes are written under some lock, outside __init__?
+        locked_writers: Dict[str, str] = {}
+        for facts in cls.methods.values():
+            if facts.name == "__init__":
+                continue
+            for access in facts.accesses:
+                if access.is_write and access.held:
+                    locked_writers.setdefault(access.attr, facts.name)
+        unlocked_methods = cls.may_run_unlocked()
+        reported: Set[Tuple[str, int]] = set()
+        for name in sorted(unlocked_methods):
+            facts = cls.methods.get(name)
+            if facts is None:
+                continue
+            for access in facts.accesses:
+                if access.held or access.attr not in locked_writers:
+                    continue
+                if access.attr in cls.init_attrs \
+                        and access.attr not in cls.mutated_attrs:
+                    continue  # immutable after __init__: publication-safe
+                key = (access.attr, access.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                kind = "write to" if access.is_write else "read of"
+                yield self.finding(
+                    cls.file.rel, access.line, access.col,
+                    f"unlocked {kind} `{access.attr}` in "
+                    f"{cls.node.name}.{name}() — written under a lock in "
+                    f"{cls.node.name}.{locked_writers[access.attr]}(), so "
+                    f"this access races with it")

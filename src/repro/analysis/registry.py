@@ -1,0 +1,75 @@
+"""The rule registry: one :class:`Rule` per mechanized project invariant.
+
+Every rule carries an id (``REPxxx``), a one-line title, a severity and a
+fix hint, and implements ``check(project) -> Iterable[Finding]`` over the
+parsed :class:`~repro.analysis.walker.Project`.  Rules register themselves
+at import time via the :func:`register` decorator; ``repro.analysis.run``
+and the CLI resolve them through :func:`get_rules`, which also implements
+``--select`` / ``--ignore`` filtering.
+
+Adding a rule is three steps (see ``docs/static_analysis.md``):
+
+1. Subclass :class:`Rule` in a ``rules_*`` module, set ``id``/``title``/
+   ``hint``, implement ``check``.
+2. Decorate it with ``@register``.
+3. Add one triggering and one non-triggering fixture to
+   ``tests/test_static_analysis.py`` — a rule without a fixture proving it
+   fires is a rule that silently rotted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from .findings import SEVERITY_ERROR, Finding
+from .walker import Project
+
+RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+class Rule:
+    """Base class for one project-invariant check."""
+
+    id: str = ""
+    title: str = ""
+    severity: str = SEVERITY_ERROR
+    hint: str = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file_rel: str, line: int, col: int,
+                message: str, hint: Optional[str] = None) -> Finding:
+        return Finding(rule=self.id, severity=self.severity, path=file_rel,
+                       line=line, col=col, message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+#: id -> rule instance, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = rule_cls()
+    if not RULE_ID_RE.match(rule.id):
+        raise ValueError(f"rule id must match REPxxx, got {rule.id!r}")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def get_rules(select: Optional[Sequence[str]] = None,
+              ignore: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve the rule set to run; unknown ids fail loudly."""
+    known = set(RULES)
+    for requested in list(select or []) + list(ignore or []):
+        if requested.upper() not in known:
+            raise ValueError(f"unknown rule {requested!r}; known rules: "
+                             f"{sorted(known)}")
+    chosen = ([RULES[r.upper()] for r in select] if select
+              else list(RULES.values()))
+    ignored = {r.upper() for r in (ignore or [])}
+    return [rule for rule in chosen if rule.id not in ignored]

@@ -1,0 +1,68 @@
+"""``# repro: noqa[REPxxx]`` suppression handling.
+
+A finding is *suppressed* — acknowledged, kept visible in ``--show-
+suppressed`` output and in the JSON counts, but not gate-failing — when
+the flagged line (or any line of the flagged multi-line statement) carries
+a project noqa comment naming its rule:
+
+    inner = np.power(x, 3)  # repro: noqa[REP002] general-exponent autograd op
+
+The bare form ``# repro: noqa`` suppresses every rule on the line; the
+bracketed form takes a comma-separated rule list and is strongly preferred
+(a bare noqa also swallows findings you have not seen yet).  Text after
+the bracket is the human justification — the convention (enforced by
+review, not by machine) is that every suppression says *why*.
+
+Only real comments count: the noqa pattern inside a string literal is
+ignored, because the walker's comment map comes from ``tokenize``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Optional
+
+from .findings import Finding
+from .walker import SourceFile
+
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+    re.IGNORECASE)
+
+#: Sentinel: a bare ``# repro: noqa`` suppresses every rule.
+ALL_RULES = frozenset({"*"})
+
+
+def noqa_rules(comment: str) -> Optional[FrozenSet[str]]:
+    """The rule ids a comment suppresses (None: not a noqa comment)."""
+    match = NOQA_RE.search(comment)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return ALL_RULES
+    return frozenset(rule.strip().upper() for rule in rules.split(",")
+                     if rule.strip())
+
+
+def line_suppresses(file: SourceFile, line: int, rule: str) -> bool:
+    comment = file.comments.get(line)
+    if comment is None:
+        return False
+    rules = noqa_rules(comment)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "*" in rules or rule.upper() in rules
+
+
+def apply_suppressions(findings: List[Finding],
+                       project_files: dict) -> List[Finding]:
+    """Mark findings whose line carries a matching noqa comment."""
+    out: List[Finding] = []
+    for finding in findings:
+        file = project_files.get(finding.path)
+        if file is not None and line_suppresses(file, finding.line,
+                                                finding.rule):
+            finding = finding.suppress()
+        out.append(finding)
+    return out

@@ -1,0 +1,151 @@
+"""File discovery and parsing: turn paths into an analyzable :class:`Project`.
+
+Each Python file is parsed once into a :class:`SourceFile` carrying the
+AST, a child→parent node map (rules need enclosing-context questions like
+"is this ``or`` in an ``if`` test?") and the per-line comment map that
+drives ``# repro: noqa[REPxxx]`` suppression.  Files that fail to parse
+become ``REP000`` findings instead of crashing the run — an analyzer that
+dies on the first syntax error cannot gate a tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .findings import SEVERITY_ERROR, Finding
+
+#: Directory names never descended into.
+EXCLUDED_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist",
+                 ".mypy_cache", ".pytest_cache", "node_modules", ".eggs"}
+
+#: Rule id reserved for files the walker itself could not analyze.
+PARSE_RULE = "REP000"
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file plus the maps rules query."""
+
+    path: Path
+    #: Normalized posix-style path string; rules scope on substrings of
+    #: this (e.g. REP002 only fires under ``repro/nn`` / ``repro/serve``).
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line number -> comment text (from tokenize, so string literals that
+    #: merely *contain* ``#`` never count as comments).
+    comments: Dict[int, str] = field(default_factory=dict)
+    #: child AST node -> parent AST node, for enclosing-context queries.
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        seen = self.parents.get(node)
+        while seen is not None:
+            yield seen
+            seen = self.parents.get(seen)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+@dataclass
+class Project:
+    """Every parsed file of one analyzer run, plus walker-level findings."""
+
+    files: List[SourceFile] = field(default_factory=list)
+    #: REP000 parse failures (these are real findings: a file the analyzer
+    #: cannot read is a file the invariants cannot protect).
+    errors: List[Finding] = field(default_factory=list)
+
+    def by_path(self) -> Dict[str, SourceFile]:
+        return {f.rel: f for f in self.files}
+
+
+def _comment_map(source: str) -> Dict[int, str]:
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the AST parse is the authority on whether the file is valid
+    return comments
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def normalize(path: Union[str, Path]) -> str:
+    return Path(path).as_posix()
+
+
+def parse_source(source: str, path: Union[str, Path]) -> SourceFile:
+    """Parse one in-memory source blob (fixture tests enter here)."""
+    path = Path(path)
+    tree = ast.parse(source, filename=str(path))
+    return SourceFile(path=path, rel=normalize(path), source=source,
+                      tree=tree, comments=_comment_map(source),
+                      parents=_parent_map(tree))
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files and directories mix freely)."""
+    found: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            if entry.suffix == ".py":
+                found.append(entry)
+            continue
+        if not entry.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for candidate in sorted(entry.rglob("*.py")):
+            if any(part in EXCLUDED_DIRS for part in candidate.parts):
+                continue
+            found.append(candidate)
+    # De-dupe while preserving order (overlapping path arguments).
+    seen = set()
+    unique = []
+    for path in found:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def load_project(paths: Sequence[Union[str, Path]]) -> Project:
+    project = Project()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            project.errors.append(Finding(
+                rule=PARSE_RULE, severity=SEVERITY_ERROR, path=normalize(path),
+                line=1, col=0, message=f"cannot read file: {error}"))
+            continue
+        try:
+            project.files.append(parse_source(source, path))
+        except SyntaxError as error:
+            project.errors.append(Finding(
+                rule=PARSE_RULE, severity=SEVERITY_ERROR, path=normalize(path),
+                line=error.lineno if error.lineno is not None else 1,
+                col=error.offset if error.offset is not None else 0,
+                message=f"syntax error: {error.msg}"))
+    return project

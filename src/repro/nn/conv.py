@@ -124,7 +124,7 @@ class PatchImageEncoder(Module):
         self.image_size = image_size
         self.patch_size = patch_size
         self.channels = channels
-        self.num_patches = (image_size // patch_size) ** 2
+        self.num_patches = (image_size // patch_size) ** 2  # repro: noqa[REP002] scalar Python int at init, not an array hot path
         patch_dim = channels * patch_size * patch_size
         self.patch_embed = Linear(patch_dim, feature_dim, rng=rng)
         self.mixer = Linear(feature_dim, feature_dim, rng=rng)

@@ -115,7 +115,7 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
-    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
     if total > max_norm and total > 0:
         scale = max_norm / (total + 1e-12)
         for p in parameters:

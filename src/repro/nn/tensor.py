@@ -338,14 +338,18 @@ class Tensor:
         return self._ensure(other, self.data.dtype) / self
 
     def pow(self, exponent: float) -> "Tensor":
-        out, record = self._make(np.power(self.data, exponent), self.requires_grad, (self,))
+        out, record = self._make(
+            np.power(self.data, exponent),  # repro: noqa[REP002] general-exponent autograd op; hot paths use x*x directly
+            self.requires_grad, (self,))
         if not record:
             return out
 
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
-            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+            self._accumulate(
+                out.grad * exponent
+                * np.power(self.data, exponent - 1))  # repro: noqa[REP002] general (possibly fractional) exponent
 
         out._backward = _backward
         return out
@@ -416,7 +420,7 @@ class Tensor:
         def _backward() -> None:
             if out.grad is None or not self.requires_grad:
                 return
-            self._accumulate(out.grad * (1.0 - out_data ** 2))
+            self._accumulate(out.grad * (1.0 - out_data * out_data))
 
         out._backward = _backward
         return out

@@ -463,7 +463,10 @@ class InferenceServer:
 
     def _submit_decision(self, request: DecisionRequest,
                          legacy: bool = False) -> RequestHandle:
-        runtime = self._runtimes.get(request.task)
+        # register_task() mutates _runtimes under the lock; read it there
+        # too so a concurrent registration cannot tear this lookup.
+        with self._lock:
+            runtime = self._runtimes.get(request.task)
         if runtime is None:
             raise ValueError(
                 f"no task runtime registered for {request.task!r} "
@@ -677,7 +680,7 @@ class InferenceServer:
         """Freeze this step's trace draft with the end-of-step gauges."""
         manager = self._manager
         prefix = manager.prefix if manager is not None else None
-        self._trace.commit_step(
+        self._trace.commit_step(  # repro: noqa[REP005] sole caller is step()'s finally, already under the `trace is not None` guard
             time.perf_counter(), did_work,
             queue_depth=self._scheduler.queue_depth,
             queue_depth_by_priority=self._scheduler.queue_depth_by_priority(),
@@ -760,7 +763,13 @@ class InferenceServer:
                     f"serve loop thread {thread.name!r} did not exit within "
                     f"{self.JOIN_TIMEOUT_S}s of stop(); leaking it — pending "
                     f"handles may hang and the engine must not be reused")
-        if self.has_pending_work() or self._pending_generation:
+        # One atomic snapshot under the lock: _pending_generation is
+        # mutated lock-held on the submit/cancel paths, and the reentrant
+        # lock makes the nested has_pending_work() acquisition free.
+        with self._lock:
+            leftover = bool(self.has_pending_work()
+                            or self._pending_generation)
+        if leftover:
             self._fail_all_pending(RuntimeError(
                 "server stopped before completing this request"))
 
@@ -1219,7 +1228,9 @@ class InferenceServer:
     def stats(self) -> ServerStats:
         """Aggregate throughput/latency/occupancy over completed requests."""
         with self._lock:
-            end = self._last_finished_at or time.perf_counter()
+            end = (self._last_finished_at
+                   if self._last_finished_at is not None
+                   else time.perf_counter())
             wall = (end - self._started_at) if self._started_at is not None else 0.0
             prefix = self._manager.prefix if self._manager is not None else None
             counters = ServeCounters(

@@ -113,7 +113,7 @@ class RequestMetrics:
         return self.first_token_at - self.submitted_at
 
     @property
-    def time_to_first_token(self) -> float:
+    def time_to_first_token(self) -> float:  # repro: noqa[REP004] the deprecation shim itself; remove with the alias
         """Deprecated pre-PR-5 name for :attr:`ttft_s`."""
         warnings.warn(
             "RequestMetrics.time_to_first_token is deprecated; use "

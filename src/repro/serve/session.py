@@ -98,8 +98,12 @@ class GenerationSession:
         now = time.perf_counter()
         if self.metrics.first_token_at is None:
             self.metrics.first_token_at = now
-        reference = self._last_step_at if self._last_step_at is not None else (
-            self.metrics.admitted_at or self.metrics.submitted_at)
+        if self._last_step_at is not None:
+            reference = self._last_step_at
+        elif self.metrics.admitted_at is not None:
+            reference = self.metrics.admitted_at
+        else:
+            reference = self.metrics.submitted_at
         self.metrics.token_seconds.append(now - reference)
         self._last_step_at = now
 
@@ -344,7 +348,7 @@ class SessionManager:
             if entry is not None:
                 if self.faults is not None:
                     self.faults.fire("prefix.seed")
-                prefill_cache = self.prefix.seed_cache(entry, len(group))
+                prefill_cache = self.prefix.seed_cache(entry, len(group))  # repro: noqa[REP005] a live entry implies the prefix cache exists
             else:
                 prefill_cache = self.model.init_cache()
             logits = self.model.forward_incremental(padded, prefill_cache)
@@ -516,7 +520,7 @@ class SessionManager:
                     if entry is not None:
                         if self.faults is not None:
                             self.faults.fire("prefix.seed")
-                        session.prefill_cache = self.prefix.seed_cache(entry, 1)
+                        session.prefill_cache = self.prefix.seed_cache(entry, 1)  # repro: noqa[REP005] a live entry implies the prefix cache exists
                     else:
                         session.prefill_cache = self.model.init_cache()
                 chunk = np.asarray(
@@ -572,7 +576,8 @@ class SessionManager:
         session.state = FAILED
 
     def evict(self, session: GenerationSession, reason: str) -> None:
-        session.finish_reason = session.finish_reason or reason
+        if session.finish_reason is None:
+            session.finish_reason = reason
         session.state = FINISHED
         session.metrics.mark_finished()
         self.prefilling.pop(session.session_id, None)

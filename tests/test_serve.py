@@ -617,7 +617,7 @@ class TestMetricsAggregation:
         request = self._request("generate", submitted=10.0, admitted=10.5,
                                 finished=12.0, tokens=8, first_token=10.75)
         with pytest.warns(DeprecationWarning, match="ttft_s"):
-            assert request.time_to_first_token == pytest.approx(0.75)
+            assert request.time_to_first_token == pytest.approx(0.75)  # repro: noqa[REP004] the pinned deprecation-warning test
 
     def test_request_metrics_defaults_before_completion(self):
         request = RequestMetrics(task="vp")
@@ -1471,7 +1471,7 @@ class TestDeprecatedSubmitShim:
     def test_generate_shim_warns_and_matches_typed(self, model):
         server = InferenceServer(model)
         with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = server.submit("generate", "shim me", max_new_tokens=5,
+            legacy = server.submit("generate", "shim me", max_new_tokens=5,  # repro: noqa[REP004] the pinned shim test
                                    stop_on_eos=False)
         typed = server.submit(GenerateRequest(prompt="shim me", max_new_tokens=5,
                                               stop_on_eos=False))
@@ -1486,7 +1486,7 @@ class TestDeprecatedSubmitShim:
         adapter = VPAdapter(llm, prediction_steps=setting.prediction_steps, seed=0)
         server = InferenceServer(adapters={"vp": adapter})
         with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = server.submit("vp", test[0])
+            legacy = server.submit("vp", test[0])  # repro: noqa[REP004] the pinned shim test
         server.run_until_idle()
         # The shim preserves the old contract: a bare ndarray, not VPResult.
         prediction = legacy.result()

@@ -2,8 +2,8 @@
 """Diff fresh perf results against committed baselines, loudly.
 
 The perf benchmarks (``test_perf_inference.py``, ``test_perf_serving.py``,
-``test_perf_serving_latency.py``) write their measurements to
-``benchmarks/results/``; the known-good numbers live in
+``test_perf_serving_latency.py``, ``test_perf_speculative.py``) write their
+measurements to ``benchmarks/results/``; the known-good numbers live in
 ``benchmarks/baselines/``.  This checker compares the two with per-direction
 tolerances so the perf trajectory is machine-checked instead of eyeballed:
 a higher-is-better metric may not fall below ``tolerance`` times its
@@ -73,6 +73,23 @@ WATCHED: Dict[str, Dict[str, object]] = {
         "disabled_tokens_per_s": "higher",
         "enabled_tokens_per_s": "higher",
         "overhead_ratio": {"direction": "higher", "gate": 0.95},
+    },
+    "perf_speculative.json": {
+        "single_stream.sequential_tokens_per_s": "higher",
+        "single_stream.speculative_tokens_per_s": "higher",
+        "single_stream.speedup": {"direction": "higher", "gate": 1.5},
+        "single_stream.acceptance_rate": "higher",
+        "mixed_batch.speedup": "higher",
+        "fused_prefill.admission_speedup": {"direction": "higher",
+                                            "gate": 1.2},
+        "single_stream.server_stats.failed": {"exact": 0},
+        "single_stream.server_stats.faults_quarantined": {"exact": 0},
+        "single_stream.server_stats.retries": {"exact": 0},
+        "single_stream.server_stats.shed": {"exact": 0},
+        "single_stream.server_stats.health": {"exact": "healthy"},
+        "fused_prefill.server_stats.failed": {"exact": 0},
+        "fused_prefill.server_stats.faults_quarantined": {"exact": 0},
+        "fused_prefill.server_stats.health": {"exact": "healthy"},
     },
     "perf_serving_latency.json": {
         "one_shot_best_tokens_per_s": "higher",

@@ -116,7 +116,8 @@ class LanguageModel(Module):
             max_sessions * per_session + extra_blocks, block_size=block_size)
 
     def forward_step(self, token_ids: np.ndarray, cache: PagedKVCache,
-                     session_ids: np.ndarray) -> Tensor:
+                     session_ids: np.ndarray,
+                     counts: Optional[np.ndarray] = None) -> Tensor:
         """Next-token logits for one new token of each listed session.
 
         ``token_ids`` has shape ``(n,)`` or ``(n, 1)``; row *i* is the newest
@@ -124,12 +125,20 @@ class LanguageModel(Module):
         advances all sessions together (per-session positions come from the
         cache), with per-session logits matching :meth:`forward_incremental`
         on the session alone.
+
+        With ``counts`` given, ``token_ids`` is ``(n, max(counts))`` and the
+        call is a ragged multi-token speculative verification forward: row
+        *i* feeds its first ``counts[i]`` tokens, the returned logits cover
+        every query position, and per-session logit columns ``< counts[i]``
+        match ``counts[i]`` sequential single-token steps exactly (see
+        :meth:`TransformerBackbone.forward_step`).
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim == 1:
             token_ids = token_ids[:, None]
         embeddings = self.token_embedding(token_ids)
-        features = self.backbone.forward_step(embeddings, cache, session_ids)
+        features = self.backbone.forward_step(embeddings, cache, session_ids,
+                                              counts=counts)
         return self.lm_head(features)
 
     def forward_embeddings(self, embeddings: Tensor, causal: bool = True) -> Tensor:

@@ -240,6 +240,8 @@ class MultiHeadAttention(Module):
         """
         self._check_cached_preconditions()
         n, new, _ = x.shape
+        if getattr(step, "counts", None) is not None:
+            return self._forward_multi_step(x, layer_cache, step)
         if new != 1:
             raise ValueError("forward_step advances exactly one token per session; "
                              "prefill prompts through the single-session cache path")
@@ -259,6 +261,36 @@ class MultiHeadAttention(Module):
         weights = exp / exp.sum(axis=-1, keepdims=True)
         context = weights @ gathered_values
         merged = np.swapaxes(context, 1, 2).reshape(n, 1, self.d_model)
+        return self.out_proj(Tensor(merged, dtype=merged.dtype))
+
+    def _forward_multi_step(self, x: Tensor, layer_cache, step) -> Tensor:
+        """Ragged multi-token step (speculative verification forward).
+
+        ``x`` holds ``step.max_count`` query tokens per session, of which row
+        ``i`` uses the first ``step.counts[i]`` (padded positions carry a
+        replicated token whose output is discarded).  Only the valid tokens
+        are scattered into the pool — one fancy-index write per layer, no
+        per-token loop — and each query position attends under
+        ``step.verify_mask``, the per-row causal cutoff that also covers
+        block padding and shorter neighbours, so position ``t`` of row ``i``
+        sees exactly what a sequential single-token decode would have seen.
+        """
+        n, new, _ = x.shape
+        q = self._split_heads(self.q_proj(x), n, new).data
+        k = self._split_heads(self.k_proj(x), n, new).data
+        v = self._split_heads(self.v_proj(x), n, new).data
+        layer_cache.append_step(step.write_blocks, step.write_offsets,
+                                k[step.row_index, :, step.token_index, :],
+                                v[step.row_index, :, step.token_index, :])
+
+        gathered_keys, gathered_values = layer_cache.gather(step.tables)
+        scores = (q @ np.swapaxes(gathered_keys, -1, -2)) * (1.0 / float(np.sqrt(self.head_dim)))
+        np.copyto(scores, -np.inf, where=step.verify_mask[:, None, :, :])
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        context = weights @ gathered_values
+        merged = np.swapaxes(context, 1, 2).reshape(n, new, self.d_model)
         return self.out_proj(Tensor(merged, dtype=merged.dtype))
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:

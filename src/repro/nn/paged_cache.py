@@ -264,6 +264,71 @@ class PagedStepContext:
         return self._mask
 
 
+class PagedMultiStepContext:
+    """Gather/scatter plan for one ragged *multi-token* step (speculative
+    decode verification).
+
+    Built by :meth:`PagedKVCache.prepare_multi_step`: row *i* writes
+    ``counts[i]`` new tokens (its previously-sampled token plus its draft
+    tokens) at global positions ``lengths[i] .. lengths[i]+counts[i]-1``.
+    Rows are ragged — shorter rows are padded to ``max_count`` query
+    positions whose outputs the caller ignores — and the flat
+    ``write_blocks``/``write_offsets``/``row_index``/``token_index`` arrays
+    cover exactly the *valid* (row, token) pairs, so padded positions are
+    never scattered into the pool.
+
+    :attr:`verify_mask` is the chunked-prefill causal-mask machinery
+    re-derived for the paged gather: token ``t`` of row ``i`` may attend to
+    gathered positions ``< lengths[i] + t + 1``, which masks block padding,
+    ragged neighbours *and* future draft tokens with one boolean mask shared
+    by every layer.  Padded query rows reuse their row's last valid cutoff,
+    so no softmax row is ever fully masked.
+    """
+
+    __slots__ = ("session_ids", "tables", "counts", "max_count", "lengths",
+                 "write_blocks", "write_offsets", "row_index", "token_index",
+                 "totals", "positions", "gathered_len", "_mask")
+
+    def __init__(self, session_ids: np.ndarray, tables: np.ndarray,
+                 counts: np.ndarray, lengths: np.ndarray,
+                 write_blocks: np.ndarray, write_offsets: np.ndarray,
+                 row_index: np.ndarray, token_index: np.ndarray,
+                 positions: np.ndarray, block_size: int) -> None:
+        self.session_ids = session_ids
+        self.tables = tables                #: (n, max_blocks) padded block ids
+        self.counts = counts                #: (n,) new tokens per row (>= 1)
+        self.max_count = int(counts.max())
+        self.lengths = lengths              #: (n,) history length *before* the step
+        self.write_blocks = write_blocks    #: (total,) block per valid token
+        self.write_offsets = write_offsets  #: (total,) offset within that block
+        self.row_index = row_index          #: (total,) source row per valid token
+        self.token_index = token_index      #: (total,) source position per valid token
+        self.totals = lengths + counts      #: (n,) history length after the step
+        #: (n, max_count) global position per query token (padded entries are
+        #: clamped to the row's last valid position, keeping them in range).
+        self.positions = positions
+        self.gathered_len = int(tables.shape[1]) * block_size
+        self._mask: Optional[np.ndarray] = None
+
+    @property
+    def verify_mask(self) -> np.ndarray:
+        """Boolean ``(n, max_count, gathered_len)`` invisibility mask.
+
+        ``mask[i, t, j]`` is True when gathered position ``j`` must not be
+        attended by query token ``t`` of row ``i`` — everything at or past
+        the causal cutoff ``lengths[i] + t + 1``, which covers future draft
+        tokens, block padding and shorter neighbours at once.  Computed once
+        per step and shared by every attention layer.
+        """
+        if self._mask is None:
+            t_eff = np.minimum(_position_range(self.max_count)[None, :],
+                               self.counts[:, None] - 1)
+            cutoff = self.lengths[:, None] + t_eff + 1
+            self._mask = (_position_range(self.gathered_len)[None, None, :]
+                          >= cutoff[:, :, None])
+        return self._mask
+
+
 class _StepPlan:
     """Cached gather plan for a fixed batch of session ids.
 
@@ -765,6 +830,134 @@ class PagedKVCache:
                 plan.lengths += 1  # keep the cached batch lengths in lockstep
             else:
                 self._plan = None  # committed a different batch: drop the plan
+
+    def prepare_multi_step(self, session_ids: np.ndarray,
+                           counts: np.ndarray) -> PagedMultiStepContext:
+        """Build the plan for a ragged multi-token (speculative) step.
+
+        Row ``i`` will write ``counts[i] >= 1`` new tokens — its pending
+        sampled token plus its draft tokens — so its table grows by however
+        many whole blocks that needs, and a shared partially-filled tail
+        block is copy-on-write split first, exactly as :meth:`prepare_step`
+        does for the single-token case.  Allocation is all-or-nothing across
+        the whole batch.
+
+        Unlike the single-token hot path this does not use the cached step
+        plan: speculative batches change shape every step (counts vary with
+        draft acceptance), so the padded tables are built fresh and the
+        cached plan is dropped (rows mutated here would be refreshed by the
+        next ``prepare_step`` anyway, via the version bump).
+        """
+        session_ids = np.asarray(session_ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        n = len(session_ids)
+        if n == 0:
+            raise ValueError("prepare_multi_step called with no active sessions")
+        if len(counts) != n:
+            raise ValueError(f"{len(counts)} counts for {n} sessions")
+        if counts.min() < 1:
+            raise ValueError("every session must consume at least one token")
+        block_size = self.block_size
+
+        rows: List[List[int]] = []
+        lengths = np.empty(n, dtype=np.int64)
+        for i, sid in enumerate(session_ids):
+            table = self._tables.get(int(sid))
+            if table is None:
+                raise ValueError(f"session {int(sid)} is not live")
+            rows.append(table)
+            lengths[i] = self._lengths[int(sid)]
+
+        # Per-row growth and copy-on-write needs, then one atomic allocation.
+        grows = [self.blocks_needed(int(lengths[i] + counts[i])) - len(rows[i])
+                 for i in range(n)]
+        cow = [bool(lengths[i] % block_size)
+               and self.allocator.refcounts[rows[i][-1]] > 1
+               for i in range(n)]
+        fresh = self._allocate_many(sum(grows) + sum(cow))
+        self._ensure_storage(*self._template_dims())
+        taken = 0
+        for i in range(n):
+            table = rows[i]
+            if cow[i]:
+                replacement = fresh[taken]
+                taken += 1
+                for layer in self.layers:
+                    layer.copy_block(table[-1], replacement)
+                if self.allocator.release(table[-1]):
+                    # Sibling already split its own tail this step: keep the
+                    # freed-blocks-are-zeroed invariant.
+                    for layer in self.layers:
+                        layer.clear_block(table[-1])
+                table[-1] = replacement
+            if grows[i]:
+                table.extend(fresh[taken:taken + grows[i]])
+                taken += grows[i]
+            if cow[i] or grows[i]:
+                self._versions[int(session_ids[i])] += 1
+        self._mutated()
+        self._plan = None  # shape-shifting batches never reuse the decode plan
+
+        width = max(len(row) for row in rows)
+        tables = np.zeros((n, width), dtype=np.int64)
+        for i, row in enumerate(rows):
+            tables[i, :len(row)] = row
+
+        max_count = int(counts.max())
+        t_grid = _position_range(max_count)[None, :]
+        valid = t_grid < counts[:, None]
+        pos = lengths[:, None] + t_grid
+        blk_col = np.where(valid, pos // block_size, 0)
+        write_blocks = tables[np.arange(n)[:, None], blk_col][valid]
+        write_offsets = (pos % block_size)[valid]
+        row_index, token_index = np.nonzero(valid)
+        # Padded query positions clamp to the row's last valid position so
+        # their (discarded) outputs stay in positional-embedding range.
+        positions = lengths[:, None] + np.minimum(t_grid, counts[:, None] - 1)
+        return PagedMultiStepContext(session_ids, tables, counts, lengths,
+                                     write_blocks, write_offsets, row_index,
+                                     token_index, positions, block_size)
+
+    def commit_multi_step(self, session_ids: np.ndarray,
+                          counts: np.ndarray) -> None:
+        """Advance per-session lengths after a ragged multi-token step."""
+        for sid, count in zip(session_ids, counts):
+            self._lengths[int(sid)] += int(count)
+            self._versions[int(sid)] += 1
+        self._mutated()
+        self._plan = None
+
+    def truncate_session(self, session_id: int, new_length: int) -> None:
+        """Roll a session back to ``new_length`` tokens (speculation rollback).
+
+        Releases the tail blocks past ``ceil(new_length / block_size)`` —
+        freshly appended by :meth:`prepare_multi_step`, hence exclusively
+        owned (forks happen between steps, and a shared partial tail was
+        already copy-on-write split before any draft token landed in it), so
+        the release cannot disturb a sibling.  Rejected tokens left inside
+        the kept tail block are invisible: every future gather masks at the
+        committed length and every future append overwrites them.
+        """
+        if session_id not in self._tables:
+            raise ValueError(f"session {session_id} is not live")
+        current = self._lengths[session_id]
+        if not 0 < new_length <= current:
+            raise ValueError(
+                f"cannot truncate session {session_id} from {current} to "
+                f"{new_length} tokens")
+        if new_length == current:
+            return
+        table = self._tables[session_id]
+        keep = self.blocks_needed(new_length)
+        while len(table) > keep:
+            block = table.pop()
+            if self.allocator.release(block):
+                for layer in self.layers:
+                    layer.clear_block(block)
+        self._lengths[session_id] = new_length
+        self._versions[session_id] += 1
+        self._mutated()
+        self._plan = None
 
     # ------------------------------------------------------------------ #
     def check_invariants(self, external_refs: Optional[Dict[int, int]] = None) -> None:

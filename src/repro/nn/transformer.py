@@ -122,7 +122,8 @@ class TransformerBackbone(Module):
         return PagedKVCache(len(self.blocks), max_blocks, block_size=block_size)
 
     def forward_step(self, embeddings: Tensor, cache: PagedKVCache,
-                     session_ids: np.ndarray) -> Tensor:
+                     session_ids: np.ndarray,
+                     counts: Optional[np.ndarray] = None) -> Tensor:
         """Advance ``len(session_ids)`` independent sessions by one token each.
 
         ``embeddings`` is ``(n, 1, d_model)``; row *i* is the newest token of
@@ -132,27 +133,52 @@ class TransformerBackbone(Module):
         in a single batched forward with per-session positional embeddings.
         The cache is updated in place (allocating or copy-on-writing tail
         blocks as needed) and the per-session lengths advance by one.
+
+        With ``counts`` given the step is a ragged *multi-token* verification
+        forward (speculative decoding): ``embeddings`` is
+        ``(n, max(counts), d_model)``, row *i* consumes its first
+        ``counts[i]`` positions (the pending sampled token plus draft
+        tokens; padded positions replicate the last valid token and their
+        outputs are ignored), and per-session lengths advance by
+        ``counts[i]``.  Rejected tokens are rolled back by the caller via
+        :meth:`PagedKVCache.truncate_session`.
         """
         session_ids = np.asarray(session_ids, dtype=np.int64)
         n, seq, d_model = embeddings.shape
         if d_model != self.d_model:
             raise ValueError(f"expected embedding dim {self.d_model}, got {d_model}")
-        if seq != 1:
+        if counts is None and seq != 1:
             raise ValueError("forward_step consumes one token per session")
         if n != len(session_ids):
             raise ValueError(f"{n} embedding rows for {len(session_ids)} sessions")
         if len(session_ids) != len(set(session_ids.tolist())):
             raise ValueError("duplicate sessions in one batched step")
-        worst = max(cache.length(int(sid)) for sid in session_ids) + 1
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+            if len(counts) != n:
+                raise ValueError(f"{len(counts)} counts for {n} sessions")
+            if seq != int(counts.max()):
+                raise ValueError(f"{seq} embedding positions for a step of "
+                                 f"up to {int(counts.max())} tokens")
+            worst = max(cache.length(int(sid)) + int(count)
+                        for sid, count in zip(session_ids, counts))
+        else:
+            worst = max(cache.length(int(sid)) for sid in session_ids) + 1
         if worst > self.max_seq_len:
             raise ValueError(f"sequence length {worst} exceeds maximum {self.max_seq_len}")
-        step = cache.prepare_step(session_ids)
-        positions = step.positions
-        pos_embedding = self.position_embedding.data[positions][:, None, :]
+        if counts is not None:
+            step = cache.prepare_multi_step(session_ids, counts)
+            pos_embedding = self.position_embedding.data[step.positions]
+        else:
+            step = cache.prepare_step(session_ids)
+            pos_embedding = self.position_embedding.data[step.positions][:, None, :]
         x = embeddings + Tensor(pos_embedding, dtype=pos_embedding.dtype)
         for block, layer_cache in zip(self.blocks, cache.layers):
             x = block.forward_step(x, layer_cache, step)
-        cache.commit_step(session_ids)
+        if counts is not None:
+            cache.commit_multi_step(session_ids, counts)
+        else:
+            cache.commit_step(session_ids)
         return self.final_norm(x)
 
     def forward(self, embeddings: Tensor, causal: bool = True,

@@ -25,9 +25,20 @@ aging); overload sheds new submissions with :class:`ServerOverloaded`;
 state.  :mod:`repro.serve.faults` provides the deterministic
 :class:`FaultInjector` (gated behind the ``REPRO_FAULTS`` env toggle) whose
 named sites — ``runtime.execute_batch``, ``prefill.band``,
-``prefill.chunk``, ``decode.step``, ``decode.logits``, ``kv.admit``,
-``kv.extend``, ``prefix.seed`` — drive the chaos test suite through exactly
-the production quarantine paths.
+``prefill.chunk``, ``decode.step``, ``decode.logits``, ``draft.propose``,
+``decode.verify``, ``kv.admit``, ``kv.extend``, ``prefix.seed`` — drive the
+chaos test suite through exactly the production quarantine paths.
+
+**Speculative decoding**: ``SchedulerPolicy(speculation="ngram")`` turns on
+draft-and-verify multi-token decode — each session drafts up to
+``speculation_k`` tokens copied from its own prompt/generated history
+(:class:`NgramProposer`; no second model), verifies them in one ragged
+multi-token forward, and keeps the longest accepted prefix, with rejected
+KV rolled back.  Output is token-exact versus sequential decoding at any
+temperature; acceptance counters surface on :class:`ServerStats`
+(``tokens_drafted`` / ``tokens_accepted`` / ``acceptance_rate``) and
+per-step on :class:`StepRecord`.  See :mod:`repro.serve.speculative` and
+``docs/speculative.md``.
 
 **Observability**: every engine step is recorded by a flight recorder
 (:class:`ServeTelemetry`, on by default) — step-level :class:`StepRecord`
@@ -76,6 +87,7 @@ from .requests import (
 from .runtimes import ABRRuntime, CJSRuntime, TaskRuntime, VPRuntime, build_runtime
 from .scheduler import ContinuousBatchingScheduler, RetryPolicy, SchedulerPolicy
 from .session import GenerationSession, SessionManager
+from .speculative import AdaptiveK, DraftProposer, NgramProposer
 from .telemetry import (
     GapAttribution,
     RequestExplanation,
@@ -95,6 +107,7 @@ __all__ = [
     "TaskRuntime", "VPRuntime", "ABRRuntime", "CJSRuntime", "build_runtime",
     "ContinuousBatchingScheduler", "SchedulerPolicy", "RetryPolicy",
     "GenerationSession", "SessionManager",
+    "DraftProposer", "NgramProposer", "AdaptiveK",
     "PrefixCache", "PrefixEntry",
     "FaultInjector", "FaultSpec", "InjectedFault", "TransientFault",
     "FAULT_SITES",

@@ -312,7 +312,9 @@ class InferenceServer:
                                         prefix_cache=self.policy.enable_prefix_cache,
                                         max_prefixes=self.policy.max_prefixes,
                                         fault_injector=fault_injector,
-                                        telemetry=self._trace)
+                                        telemetry=self._trace,
+                                        speculation=self.policy.speculation,
+                                        speculation_k=self.policy.speculation_k)
                          if model is not None else None)
         self._scheduler = ContinuousBatchingScheduler(self.policy)
         self._runtimes: Dict[str, TaskRuntime] = {}
@@ -923,7 +925,18 @@ class InferenceServer:
         """Chunked prefill under the step token budget (see SchedulerPolicy)."""
         manager = self._manager
         chunk = self.policy.prefill_chunk_size
-        budget = self._scheduler.prefill_budget(manager.num_running)
+        # Decode's share of the step budget: with speculation on, each row
+        # plans its draft now and is charged 1 + drafted tokens; off, the
+        # plan degenerates to one token per running row.  A draft-proposal
+        # fault implicates the whole decode batch (no KV state exists yet,
+        # so the quarantine is purely bookkeeping).
+        try:
+            planned = manager.plan_decode_tokens(self.policy.step_token_budget)
+        except Exception as error:
+            self._quarantine_sessions(list(manager.running.values()), error,
+                                      phase="draft propose")
+            planned = manager.num_running
+        budget = self._scheduler.prefill_budget(planned)
         cap = manager.num_free
         if budget is not None:
             # In-flight prefills draw from the budget first — reserve the
@@ -1240,7 +1253,11 @@ class InferenceServer:
                                       if prefix is not None else 0),
                 faults_quarantined=self._faults_quarantined,
                 retries=self._retries,
-                shed=self._shed)
+                shed=self._shed,
+                tokens_drafted=(self._manager.tokens_drafted
+                                if self._manager is not None else 0),
+                tokens_accepted=(self._manager.tokens_accepted
+                                 if self._manager is not None else 0))
             return ServerStats.from_requests(
                 list(self._completed), wall,
                 list(self._scheduler.occupancy_samples),

@@ -31,6 +31,13 @@ and the fault-free reference run.
 ``decode.logits``
     The batched decode logits, fired *after* the forward with the logits
     array as corruptible ``payload`` (``SessionManager.step``).
+``draft.propose``
+    Speculative draft proposal for the decode batch, fired before any
+    drafting or KV growth (``SessionManager.step``).
+``decode.verify``
+    The speculative verification logits, fired after the multi-token
+    forward — KV already grown, acceptance not yet decided — with the
+    logits array as corruptible ``payload`` (``SessionManager.step``).
 ``kv.admit``
     Paged-pool admission of prefilled rows, fired before any allocation
     (:meth:`~repro.nn.PagedKVCache.admit_rows`).
@@ -72,6 +79,10 @@ FAULT_SITES: Dict[str, str] = {
     "decode.step": "batched decode forward, pre-model (SessionManager.step)",
     "decode.logits": "batched decode logits, post-forward, corruptible "
                      "payload (SessionManager.step)",
+    "draft.propose": "speculative draft proposal, pre-drafting "
+                     "(SessionManager.step)",
+    "decode.verify": "speculative verification logits, post-forward, "
+                     "corruptible payload (SessionManager.step)",
     "kv.admit": "paged-pool admission (PagedKVCache.admit_rows)",
     "kv.extend": "paged-pool chunk extension (PagedKVCache.extend_session)",
     "prefix.seed": "prefix-cache prefill seeding (SessionManager call sites "

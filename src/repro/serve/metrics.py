@@ -155,6 +155,10 @@ class ServeCounters:
     faults_quarantined: int = 0
     retries: int = 0
     shed: int = 0
+    #: Speculative decoding: draft tokens proposed and draft tokens accepted
+    #: (both 0 with ``speculation="off"``).
+    tokens_drafted: int = 0
+    tokens_accepted: int = 0
 
 
 @dataclass
@@ -203,6 +207,11 @@ class ServerStats:
     faults_quarantined: int = 0
     retries: int = 0
     shed: int = 0
+    #: Speculative decoding counters: draft tokens proposed, draft tokens
+    #: accepted (emitted without their own forward).  Both zero with
+    #: ``speculation="off"``.
+    tokens_drafted: int = 0
+    tokens_accepted: int = 0
     #: Engine health at report time (see :class:`ServerHealth`).
     health: str = ServerHealth.HEALTHY
     #: Flight-recorder summary (``ServeTelemetry.summary()``): enabled flag,
@@ -216,6 +225,13 @@ class ServerStats:
         if self.block_capacity <= 0:
             return 0.0
         return self.mean_blocks_in_use / self.block_capacity
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens the verification forward accepted."""
+        if self.tokens_drafted <= 0:
+            return 0.0
+        return self.tokens_accepted / self.tokens_drafted
 
     @classmethod
     def from_requests(cls, requests: List[RequestMetrics], wall_seconds: float,
@@ -278,6 +294,8 @@ class ServerStats:
             faults_quarantined=counters.faults_quarantined,
             retries=counters.retries,
             shed=counters.shed,
+            tokens_drafted=counters.tokens_drafted,
+            tokens_accepted=counters.tokens_accepted,
             health=health,
             telemetry=dict(telemetry or {}),
         )
@@ -315,6 +333,9 @@ class ServerStats:
             "faults_quarantined": self.faults_quarantined,
             "retries": self.retries,
             "shed": self.shed,
+            "tokens_drafted": self.tokens_drafted,
+            "tokens_accepted": self.tokens_accepted,
+            "acceptance_rate": self.acceptance_rate,
             "health": self.health,
             "telemetry": dict(self.telemetry),
         }

@@ -124,6 +124,22 @@ class SchedulerPolicy:
     budget requires ``prefill_chunk_size`` — the budget is spent in chunk
     grants.
 
+    **Speculative decoding**:
+
+    ``speculation="ngram"`` turns on draft-and-verify multi-token decoding:
+    each decode row proposes up to ``speculation_k`` draft tokens copied
+    from its own prompt/generated history (no second model — see
+    :mod:`repro.serve.speculative`), verifies them in one ragged
+    multi-token forward, and keeps the longest accepted prefix.  Output is
+    token-exact versus ``speculation="off"`` at any temperature (the
+    acceptance rule replays the session's own sampling, RNG draws
+    included); only the forwards-per-token ratio changes.  Draft length
+    adapts per session between 1 and ``speculation_k`` (fully accepted
+    drafts grow it, rejected drafts halve it).  Under ``step_token_budget``
+    each speculative row is charged ``1 + drafted`` tokens — draft lengths
+    are trimmed, round-robin, to fit the budget — so prefill chunks and
+    speculation share one token-accounting regime.
+
     **Fault tolerance / graceful degradation**:
 
     ``retry_policy`` re-enqueues transiently-failed requests (see
@@ -152,8 +168,18 @@ class SchedulerPolicy:
     shed_queue_depth: Optional[int] = None
     shed_queue_age_s: Optional[float] = None
     health_window_s: float = 5.0
+    speculation: str = "off"
+    speculation_k: int = 4
 
     def __post_init__(self) -> None:
+        if self.speculation not in ("off", "ngram"):
+            raise ValueError(
+                f"speculation must be 'off' or 'ngram', got "
+                f"{self.speculation!r}")
+        if self.speculation_k < 1:
+            raise ValueError(
+                f"speculation_k must be >= 1 draft tokens, got "
+                f"{self.speculation_k}")
         if self.max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be a positive batch width, got "
@@ -304,6 +330,11 @@ class ContinuousBatchingScheduler:
         already in flight spends one token of ``step_token_budget`` first;
         whatever remains funds prefill chunks and new admissions.  ``None``
         means unbounded (no ``step_token_budget`` configured).
+
+        With speculative decoding on, the caller passes the *planned decode
+        tokens* (``sum(1 + drafted)`` over the batch, from
+        ``SessionManager.plan_decode_tokens``) instead of the row count, so
+        drafts and prefill chunks are charged against the same budget.
         """
         budget = self.policy.step_token_budget
         if budget is None:

@@ -13,9 +13,22 @@ Fault semantics: every failure path here releases the session's slot and
 blocks (:meth:`SessionManager.abort`) before surfacing the error, so the
 engine's quarantine can prove pool soundness afterwards.  The manager is
 also instrumented with the named fault-injection sites ``prefill.band``,
-``prefill.chunk``, ``decode.step``, ``decode.logits`` and ``prefix.seed``
-(see :mod:`repro.serve.faults`) — each a single ``is None`` check when no
-injector is wired in.
+``prefill.chunk``, ``decode.step``, ``decode.logits``, ``draft.propose``,
+``decode.verify`` and ``prefix.seed`` (see :mod:`repro.serve.faults`) —
+each a single ``is None`` check when no injector is wired in.
+
+Speculative decoding (``speculation="ngram"``): each decode step first asks
+the :class:`~repro.serve.speculative.NgramProposer` for up to ``k`` draft
+tokens per session (copied from the session's own history), then verifies
+pending-token-plus-drafts in one ragged multi-token forward
+(:meth:`~repro.nn.PagedKVCache.prepare_multi_step`).  Each verified logits
+column is consumed by the *same* :meth:`SessionManager._consume_logits`
+path sequential decode uses — same sampler, same per-session RNG draws,
+same EOS/limit eviction — so a draft token is accepted exactly when the
+session would have sampled it anyway, and the emitted stream is
+token-identical to ``speculation="off"`` at any temperature.  KV written
+for rejected drafts is rolled back with
+:meth:`~repro.nn.PagedKVCache.truncate_session`.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from ..nn import DEFAULT_BLOCK_SIZE, KVCache, no_grad
 from ..utils import seeded_rng
 from .metrics import RequestMetrics
 from .prefix import PrefixCache, PrefixEntry
+from .speculative import AdaptiveK, NgramProposer
 
 #: Session lifecycle states.
 QUEUED = "queued"
@@ -146,7 +160,9 @@ class SessionManager:
                  prefix_cache: bool = True,
                  max_prefixes: int = 8,
                  fault_injector: Optional[object] = None,
-                 telemetry: Optional[object] = None) -> None:
+                 telemetry: Optional[object] = None,
+                 speculation: str = "off",
+                 speculation_k: int = 4) -> None:
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         if prefill_padding < 0:
@@ -183,6 +199,26 @@ class SessionManager:
         #: engine wires it in only when enabled, so every instrumented site
         #: here is a single ``is None`` check (same idiom as ``faults``).
         self.telemetry = telemetry
+        if speculation not in ("off", "ngram"):
+            raise ValueError(f"speculation must be 'off' or 'ngram', got "
+                             f"{speculation!r}")
+        #: Draft proposer for speculative decoding (None: speculation off).
+        self.proposer: Optional[NgramProposer] = (
+            NgramProposer() if speculation == "ngram" else None)
+        self._adaptive = AdaptiveK(speculation_k) if self.proposer else None
+        #: Drafts planned for the upcoming decode step, keyed by cache slot
+        #: (filled by :meth:`plan_decode_tokens`, consumed by :meth:`step`).
+        self._planned_drafts: Dict[int, List[int]] = {}
+        #: Lifetime speculative counters (feed ``ServerStats``).
+        self.tokens_drafted = 0
+        self.tokens_accepted = 0
+        #: Memoized fused prefill cache: ``((session ids), committed length)
+        #: -> KVCache`` from the previous :meth:`prefill_chunk_group` call.
+        #: When the same group returns next step, its stacked history is the
+        #: fused cache the last forward already extended — reusing it skips
+        #: re-concatenating every member's full K/V each chunk.
+        self._fused_prefill: Optional[Tuple[Tuple[Tuple[int, ...], int],
+                                            object]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -420,6 +456,12 @@ class SessionManager:
                 return max(0, left - 1), max(0, left - 1)
             return grant, grant
 
+        # Grant the in-flight PREFILLING sessions first (admission order),
+        # then fuse grants with equal committed history and equal size into
+        # one ragged banded forward (the multi-chunk analogue of banded
+        # admission) — concurrent same-shape prompts pay one forward per
+        # step, not one each.
+        pending: List[Tuple[GenerationSession, int, int]] = []
         for session in list(self.prefilling.values()):
             left = allowance()
             if left is not None and left <= 0:
@@ -427,15 +469,38 @@ class SessionManager:
             grant, cost = grant_and_cost(session, left)
             if grant <= 0:
                 break
-            try:
-                self.prefill_chunk(session, grant)
-            except Exception as error:
-                self.abort(session)
-                failures.append((session, error))
-                continue
-            spent += cost
-            if session.state == FINISHED:
-                terminal.append(session)
+            pending.append((session, grant, cost))
+            spent += cost  # refunded below if the chunk fails
+        fused_groups: Dict[Tuple[int, int], List[Tuple[GenerationSession, int]]] = {}
+        for session, grant, cost in pending:
+            key = (session.prefill_cache.seq_len, grant)
+            fused_groups.setdefault(key, []).append((session, cost))
+        for (_, grant), members in fused_groups.items():
+            solo = list(members)
+            if len(members) >= 2:
+                try:
+                    chunk_failures = self.prefill_chunk_group(
+                        [session for session, _ in members], grant)
+                except Exception:
+                    # The fused forward itself failed before any session was
+                    # committed: fall back to one-at-a-time chunks below so a
+                    # single bad session cannot take down its whole group.
+                    pass
+                else:
+                    solo = []
+                    costs = dict((id(s), c) for s, c in members)
+                    for session, error in chunk_failures:
+                        spent -= costs[id(session)]
+                        failures.append((session, error))
+            for session, cost in solo:
+                try:
+                    self.prefill_chunk(session, grant)
+                except Exception as error:
+                    self.abort(session)
+                    failures.append((session, error))
+                    spent -= cost
+            terminal.extend(session for session, _ in members
+                            if session.state == FINISHED)
 
         one_shot: List[GenerationSession] = []
         for session in new_sessions:
@@ -556,6 +621,98 @@ class SessionManager:
             self._consume_logits(session, logits.data[0, -1, :])
         return take
 
+    def prefill_chunk_group(self, group: List[GenerationSession], take: int
+                            ) -> List[Tuple[GenerationSession, BaseException]]:
+        """Advance several equal-history ``PREFILLING`` sessions in one forward.
+
+        Every session must hold a resumable prefill cache of the same
+        committed length and be due exactly ``take`` more prompt tokens (the
+        grouping :meth:`prefill_step` performs).  Their caches are stacked
+        into one temporary batched :class:`~repro.nn.KVCache`, the chunk
+        matrix runs through a single ``forward_incremental`` — causality
+        makes each row independent, so per-row logits and K/V match the
+        per-session :meth:`prefill_chunk` path exactly — and each session's
+        pool blocks and resumable cache are then committed from its row.
+
+        Per-session commit failures abort only that session and are returned
+        as ``(session, error)`` pairs; the fused forward itself raising
+        (before any commit) leaves every session untouched, so the caller
+        can fall back to one-at-a-time chunks.
+        """
+        if self.faults is not None:
+            # One forward, one fire — the fused analogue of ``prefill.band``.
+            self.faults.fire("prefill.chunk")
+        past = group[0].prefill_cache.seq_len
+        for session in group:
+            if session.prefill_cache.seq_len != past:
+                raise ValueError("fused prefill requires equal-history sessions")
+            if session.prompt_pos != past:
+                raise ValueError("fused prefill requires block-committed history")
+        chunk = np.asarray(
+            [session.prompt_ids[session.prompt_pos:session.prompt_pos + take]
+             for session in group], dtype=np.int64)
+        failures: List[Tuple[GenerationSession, BaseException]] = []
+        was_training = self.model.training
+        if was_training:  # KV-cached forwards require eval mode (as generate())
+            self.model.eval()
+        key = (tuple(session.session_id for session in group), past)
+        memo = self._fused_prefill
+        self._fused_prefill = None
+        try:
+            with no_grad():
+                if memo is not None and memo[0] == key:
+                    # Same group, same committed length: the fused cache the
+                    # previous chunk's forward extended *is* the stacked
+                    # history — skip re-concatenating every member's K/V.
+                    fused = memo[1]
+                else:
+                    fused = self.model.init_cache()
+                    for fused_layer, layers in zip(
+                            fused.layers,
+                            zip(*(s.prefill_cache.layers for s in group))):
+                        fused_layer.append(
+                            np.concatenate([layer.keys for layer in layers], axis=0),
+                            np.concatenate([layer.values for layer in layers], axis=0))
+                logits = self.model.forward_incremental(chunk, fused)
+                new_length = past + take
+                for row, session in enumerate(group):
+                    try:
+                        # Pool first (reading the fused cache's row), own
+                        # resumable cache after: a pool failure then leaves
+                        # the session exactly as before its chunk.
+                        self.cache.extend_session(session.slot, fused, row=row,
+                                                  new_length=new_length)
+                    except Exception as error:
+                        self.abort(session)
+                        failures.append((session, error))
+                        continue
+                    for fused_layer, layer in zip(fused.layers,
+                                                  session.prefill_cache.layers):
+                        layer.append(fused_layer.keys[row:row + 1, :, past:],
+                                     fused_layer.values[row:row + 1, :, past:])
+                    session.prompt_pos = new_length
+        finally:
+            if was_training:
+                self.model.train()
+        dead = {id(session) for session, _ in failures}
+        for row, session in enumerate(group):
+            if id(session) in dead:
+                continue
+            if self.telemetry is not None:
+                self.telemetry.note_prefill_chunk(session.session_id, take)
+            if session.prompt_pos == len(session.prompt_ids):
+                del self.prefilling[session.session_id]
+                session.prefill_cache = None
+                self.running[session.slot] = session
+                session.state = RUNNING
+                self._consume_logits(session, logits.data[row, -1, :])
+        if not failures and all(session.state == PREFILLING
+                                for session in group):
+            # Every member advanced in lockstep and has more prompt to go:
+            # the extended fused cache is next step's stacked history.
+            self._fused_prefill = ((key[0], past + take), fused)
+        return failures
+
     def abort(self, session: GenerationSession) -> None:
         """Release a failed session's slot/blocks without finishing it.
 
@@ -567,6 +724,7 @@ class SessionManager:
         self.prefilling.pop(session.session_id, None)
         if session.slot is not None:
             self.running.pop(session.slot, None)
+            self._forget_speculation(session.slot)
             try:
                 self.cache.evict(session.slot)
             except ValueError:
@@ -584,8 +742,66 @@ class SessionManager:
         session.prefill_cache = None
         if session.slot is not None:
             self.running.pop(session.slot, None)
+            self._forget_speculation(session.slot)
             self.cache.evict(session.slot)
             session.slot = None
+
+    def _forget_speculation(self, slot: int) -> None:
+        """Drop a departing slot's drafter/adaptive-k state and planned drafts."""
+        if self.proposer is not None:
+            self.proposer.forget(slot)
+            self._adaptive.forget(slot)
+        self._planned_drafts.pop(slot, None)
+
+    # ------------------------------------------------------------------ #
+    def plan_decode_tokens(self, token_budget: Optional[int] = None) -> int:
+        """Draft for the upcoming decode step; return its planned token cost.
+
+        The unified-budget hook: the engine calls this *before* granting the
+        step's prefill budget, so speculative decode rows are charged
+        ``1 + drafted`` tokens against ``step_token_budget`` exactly like
+        prefill chunks are charged per prompt token.  With speculation off
+        (or an empty batch) the plan is trivially one token per running row.
+
+        Draft lengths start from each session's adaptive ``k``, are clamped
+        to the session's remaining context (a session never drafts past
+        ``max_context``), and are trimmed longest-first until the batch fits
+        ``token_budget`` (each row always keeps its 1 mandatory token).  The
+        drafts are stashed per slot and consumed by the next :meth:`step`.
+        """
+        self._planned_drafts = {}
+        if not self.running:
+            return 0
+        if self.proposer is None:
+            return len(self.running)
+        if self.faults is not None:
+            # Pre-drafting site: proposing touches no model or pool state, so
+            # a raise here can never leave KV to roll back.
+            self.faults.fire("draft.propose")
+        drafts: Dict[int, List[int]] = {}
+        for slot in sorted(self.running):
+            session = self.running[slot]
+            # Room after the mandatory token: never draft past the context
+            # cap (sequential decode would have stopped there too).
+            room = self.max_context - (self.cache.length(slot) + 1)
+            k = min(self._adaptive.current(slot), max(0, room))
+            if k > 0:
+                self.proposer.sync(slot, session.prompt_ids + session.generated)
+                drafts[slot] = self.proposer.propose(slot, k)
+            else:
+                drafts[slot] = []
+        total = sum(1 + len(d) for d in drafts.values())
+        if token_budget is not None:
+            # Trim longest-first until the step fits the budget; the 1-token
+            # floor per row is the same floor non-speculative decode has.
+            while total > token_budget:
+                slot = max(drafts, key=lambda s: len(drafts[s]))
+                if not drafts[slot]:
+                    break
+                drafts[slot].pop()
+                total -= 1
+        self._planned_drafts = drafts
+        return total
 
     # ------------------------------------------------------------------ #
     def step(self) -> Tuple[List[GenerationSession], int]:
@@ -617,6 +833,15 @@ class SessionManager:
         if not self.running:
             return completed, 0
 
+        if self.proposer is not None:
+            if not self._planned_drafts:
+                # Standalone use (no engine budget pass): plan here.
+                self.plan_decode_tokens()
+            drafts = self._planned_drafts
+            self._planned_drafts = {}
+            if any(drafts.get(slot) for slot in self.running):
+                return self._speculative_step(completed, drafts)
+
         slots = np.asarray(sorted(self.running), dtype=np.int64)
         batch = [self.running[int(slot)] for slot in slots]
         tokens = np.asarray([s.generated[-1] for s in batch], dtype=np.int64)
@@ -638,6 +863,87 @@ class SessionManager:
             session.metrics.batch_sizes.append(occupancy)
             if not self._consume_logits(session, logits[row]):
                 completed.append(session)
+        return completed, occupancy
+
+    def _speculative_step(self, completed: List[GenerationSession],
+                          drafts: Dict[int, List[int]]
+                          ) -> Tuple[List[GenerationSession], int]:
+        """One draft-and-verify decode step over the running batch.
+
+        Row *i* feeds its pending sampled token plus its draft tokens —
+        ``1 + len(drafts[slot])`` positions — through one ragged multi-token
+        forward; shorter rows are padded (padded outputs discarded).  Each
+        verified logits column then runs through :meth:`_consume_logits`
+        exactly as a sequential step would: the sampled token *is* the
+        acceptance test (equal to the draft → keep verifying; different →
+        it is the correction and verification stops), so RNG draws, EOS
+        handling, streaming callbacks and metrics all match sequential
+        decode token for token.  KV committed past the last emitted token
+        is rolled back via :meth:`~repro.nn.PagedKVCache.truncate_session`.
+        """
+        slots = np.asarray(sorted(self.running), dtype=np.int64)
+        batch = [self.running[int(slot)] for slot in slots]
+        counts = np.asarray([1 + len(drafts.get(int(slot), ())) for slot in slots],
+                            dtype=np.int64)
+        width = int(counts.max())
+        tokens = np.empty((len(batch), width), dtype=np.int64)
+        for row, session in enumerate(batch):
+            fed = [session.generated[-1]] + drafts.get(int(slots[row]), [])
+            tokens[row, :len(fed)] = fed
+            tokens[row, len(fed):] = fed[-1]  # padded columns replicate
+        pre_lengths = [self.cache.length(int(slot)) for slot in slots]
+        was_training = self.model.training
+        if was_training:  # KV-cached forwards require eval mode (as generate())
+            self.model.eval()
+        try:
+            with no_grad():
+                logits = self.model.forward_step(tokens, self.cache, slots,
+                                                 counts=counts).data
+        finally:
+            if was_training:
+                self.model.train()
+        if self.faults is not None:
+            # Post-forward site: KV for every draft token is already written,
+            # acceptance is not yet decided — the adversarial moment for the
+            # rollback machinery.  A "corrupt" spec perturbs the verification
+            # logits in place before acceptance sampling.
+            self.faults.fire("decode.verify", payload=logits)
+        occupancy = len(batch)
+        step_drafted = 0
+        step_accepted = 0
+        for row, session in enumerate(batch):
+            slot = int(slots[row])
+            draft = drafts.get(slot, [])
+            session.metrics.batch_sizes.append(occupancy)
+            emitted = 0
+            accepted = 0
+            alive = True
+            for t in range(int(counts[row])):
+                alive = self._consume_logits(session, logits[row, t, :])
+                if not alive:
+                    break
+                emitted += 1
+                if not (t < len(draft) and session.generated[-1] == draft[t]):
+                    break  # rejection correction, or the bonus token
+                accepted += 1
+            step_drafted += len(draft)
+            step_accepted += accepted
+            self._adaptive.observe(slot, len(draft), accepted)
+            if not alive:
+                # Evicted inside _consume_logits (EOS / limits): the blocks —
+                # speculative tail included — are already back in the pool.
+                completed.append(session)
+                continue
+            target = pre_lengths[row] + emitted
+            if emitted < int(counts[row]):
+                # Roll back rejected draft tokens: the pending (sampled but
+                # not yet fed) token is the last emitted one, so the session
+                # keeps the usual length == prompt + generated - 1 invariant.
+                self.cache.truncate_session(slot, target)
+        self.tokens_drafted += step_drafted
+        self.tokens_accepted += step_accepted
+        if self.telemetry is not None:
+            self.telemetry.note_speculation(step_drafted, step_accepted)
         return completed, occupancy
 
     # ------------------------------------------------------------------ #

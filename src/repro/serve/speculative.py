@@ -1,0 +1,168 @@
+"""Draft proposers for speculative multi-token decoding.
+
+The serving engine's decode loop is one full transformer forward per output
+token per session.  Speculative decoding buys back wall-clock by *drafting*
+several candidate tokens cheaply, verifying them all in one ragged
+multi-token forward (the chunked-prefill causal machinery reused as a
+verification step — see :meth:`repro.nn.PagedKVCache.prepare_multi_step`),
+and keeping the longest accepted prefix.  The acceptance rule makes the
+output **token-exact**: draft token ``d_t`` is accepted iff it equals the
+token the session would have sampled from the verified logits at that
+position — ``argmax`` at temperature 0, and the session's own seeded RNG
+draw at temperature > 0 — so the emitted stream is bit-identical to
+sequential decoding at any temperature, and the only thing speculation
+changes is how many forwards it took to produce it.
+
+There is no second model: the paper's decision traffic is dominated by
+*templated* prompts, so drafts are copied out of each session's own
+history.  :class:`NgramProposer` keeps a per-session hash index from the
+last few tokens (n-grams of order 3, 2, 1) to the position after their most
+recent earlier occurrence; a draft is the run of tokens that followed the
+longest matching suffix.  On repetitive/templated text most drafts accept
+wholesale and each step emits several tokens; on incompressible text the
+per-session :class:`AdaptiveK` controller backs the draft length off to 1
+so the overhead stays one extra query column per forward.
+
+Everything here is plain data-structure code — no model access, no pool
+access — so a draft fault (site ``draft.propose``) can never corrupt KV
+state, and rollback of rejected drafts is entirely the cache's
+:meth:`~repro.nn.PagedKVCache.truncate_session` concern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+__all__ = ["DraftProposer", "NgramProposer", "AdaptiveK"]
+
+#: Longest n-gram key indexed (and matched) by :class:`NgramProposer`;
+#: longer matches are preferred, shorter ones are the fallback.
+MAX_ORDER = 3
+
+
+class DraftProposer(Protocol):
+    """Protocol for draft-token proposers consumed by the session manager.
+
+    A proposer observes each session's token history (prompt plus generated
+    tokens) via :meth:`sync` and proposes up to ``k`` likely continuation
+    tokens via :meth:`propose`.  Proposals are *hints*: every proposed token
+    is verified against the model before it can be emitted, so a wrong
+    draft costs only wasted compute, never a wrong token.
+    """
+
+    def sync(self, session_id: int, tokens: Sequence[int]) -> None:
+        """Observe a session's full token history (called before proposing;
+        ``tokens`` grows append-only between calls for a live session)."""
+
+    def propose(self, session_id: int, k: int) -> List[int]:
+        """Up to ``k`` draft tokens continuing the session's history."""
+
+    def forget(self, session_id: int) -> None:
+        """Drop all state for a finished/evicted session."""
+
+
+class NgramProposer:
+    """Prompt-copy drafter: propose the continuation of the most recent
+    earlier occurrence of the session's current suffix.
+
+    Per session, an index maps each n-gram (orders ``MAX_ORDER`` down to 1)
+    to the position *after* its most recent occurrence strictly before the
+    end of history.  ``propose`` looks up the current suffix longest-order
+    first and copies ``k`` tokens from the match onward; a copy that reaches
+    the end of history continues cyclically (the session is repeating a
+    short cycle — extend it rather than clamp the draft).  Indexing is
+    incremental: :meth:`sync` only walks the tokens appended since the last
+    call, so steady-state cost is O(new tokens), not O(history).
+    """
+
+    def __init__(self, min_order: int = 1) -> None:
+        if not 1 <= min_order <= MAX_ORDER:
+            raise ValueError(f"min_order must be in 1..{MAX_ORDER}")
+        self.min_order = min_order
+        self._tokens: Dict[int, List[int]] = {}
+        #: session -> {ngram tuple -> position after its latest occurrence}
+        self._index: Dict[int, Dict[Tuple[int, ...], int]] = {}
+        self._indexed: Dict[int, int] = {}  # tokens already folded into _index
+
+    def sync(self, session_id: int, tokens: Sequence[int]) -> None:
+        history = self._tokens.setdefault(session_id, [])
+        if len(tokens) < len(history):
+            raise ValueError(
+                f"session {session_id} history shrank from {len(history)} to "
+                f"{len(tokens)} tokens; histories are append-only")
+        history.extend(tokens[len(history):])
+        index = self._index.setdefault(session_id, {})
+        done = self._indexed.get(session_id, 0)
+        # Index every n-gram ending at positions [done, len); an n-gram
+        # ending at position e (exclusive) maps to e — the position of the
+        # token that followed it.  Later occurrences overwrite earlier ones,
+        # so lookups always copy from the most recent match.
+        for end in range(max(done, self.min_order), len(history)):
+            for order in range(self.min_order, MAX_ORDER + 1):
+                if order > end:
+                    break
+                index[tuple(history[end - order:end])] = end
+        self._indexed[session_id] = len(history)
+
+    def propose(self, session_id: int, k: int) -> List[int]:
+        history = self._tokens.get(session_id)
+        if not history or k < 1:
+            return []
+        index = self._index[session_id]
+        for order in range(min(MAX_ORDER, len(history)), self.min_order - 1, -1):
+            match = index.get(tuple(history[-order:]))
+            # Indexed positions always lie strictly before end-of-history
+            # (the current suffix itself is only indexed once more tokens
+            # land), but guard anyway: a match at the end has no follower.
+            if match is not None and match < len(history):
+                run = list(history[match:])
+                if len(run) >= k:
+                    return run[:k]
+                # The matched continuation runs right up to the present
+                # token: the session is emitting a cycle whose period is
+                # ``len(run)``.  Extend the draft by continuing the cycle —
+                # exact for truly periodic text, and merely a (verified)
+                # guess otherwise — instead of clamping the draft to the
+                # period and wasting the rest of the budget.
+                return [run[i % len(run)] for i in range(k)]
+        return []
+
+    def forget(self, session_id: int) -> None:
+        self._tokens.pop(session_id, None)
+        self._index.pop(session_id, None)
+        self._indexed.pop(session_id, None)
+
+
+class AdaptiveK:
+    """Per-session draft-length controller: exploit streaks, flee misses.
+
+    Tracks one draft length per session, capped at the policy's
+    ``speculation_k``.  After each verified step: a fully accepted draft
+    grows ``k`` by one (toward the cap); a fully rejected draft halves it
+    (toward 1); a partial acceptance settles at the accepted length — so a
+    templated session climbs to the cap and an incompressible one decays to
+    paying a single wasted query column per step.
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("speculation cap must be >= 1")
+        self.cap = cap
+        self._k: Dict[int, int] = {}
+
+    def current(self, session_id: int) -> int:
+        return self._k.get(session_id, self.cap)
+
+    def observe(self, session_id: int, drafted: int, accepted: int) -> None:
+        if drafted < 1:
+            return
+        if accepted >= drafted:
+            k = min(self.cap, self.current(session_id) + 1)
+        elif accepted == 0:
+            k = max(1, self.current(session_id) // 2)
+        else:
+            k = max(1, accepted)
+        self._k[session_id] = k
+
+    def forget(self, session_id: int) -> None:
+        self._k.pop(session_id, None)

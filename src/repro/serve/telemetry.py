@@ -11,7 +11,8 @@ averages cannot).  Three layers:
 composition (which sessions were ``DECODING`` and which were
 ``PREFILLING`` and how many prompt tokens each chunk committed), token-
 budget spend and deferrals, the admissions/finishes/cancellations/
-expiries/quarantines/retries/sheds of that step, queue depth per priority
+expiries/quarantines/retries/sheds of that step, speculative draft/accept
+token counts, queue depth per priority
 class, KV blocks in use and prefix-cache hits — into a bounded ring buffer
 (:class:`TraceLog`) with O(1) append and JSONL export.  With telemetry
 disabled every instrumented site is one ``is None`` check, so the decode
@@ -92,6 +93,10 @@ class StepRecord:
     decisions: int = 0
     #: Faults fired by the injector during this step (chaos runs only).
     faults: Tuple[FaultEvent, ...] = ()
+    #: Speculative decoding: draft tokens proposed / accepted this step.
+    #: Zero on non-speculative steps, so existing traces read unchanged.
+    tokens_drafted: int = 0
+    tokens_accepted: int = 0
     #: End-of-step gauges.
     queue_depth: int = 0
     queue_depth_by_priority: Mapping[int, int] = field(default_factory=dict)
@@ -104,8 +109,9 @@ class StepRecord:
 
     @property
     def decode_tokens(self) -> int:
-        """Tokens committed by the decode phase (one per decode row)."""
-        return len(self.decode_sessions)
+        """Tokens committed by the decode phase: one per decode row, plus
+        one per accepted draft token on speculative steps."""
+        return len(self.decode_sessions) + self.tokens_accepted
 
     @property
     def prefill_tokens(self) -> int:
@@ -142,6 +148,8 @@ class StepRecord:
             "expired": self.expired,
             "shed": self.shed,
             "decisions": self.decisions,
+            "tokens_drafted": self.tokens_drafted,
+            "tokens_accepted": self.tokens_accepted,
             "faults": [list(event) for event in self.faults],
             "queue_depth": self.queue_depth,
             "queue_depth_by_priority": {str(priority): depth
@@ -442,7 +450,8 @@ class _StepDraft:
                  "decode_sessions", "prefill_chunks", "prefill_budget",
                  "admitted", "deferred", "finished", "quarantined",
                  "quarantines", "retries", "failed", "cancelled", "expired",
-                 "shed", "decisions", "dirty")
+                 "shed", "decisions", "tokens_drafted", "tokens_accepted",
+                 "dirty")
 
     def __init__(self, started_at: float,
                  fault_log: Optional[Sequence[FaultEvent]]) -> None:
@@ -463,6 +472,8 @@ class _StepDraft:
         self.expired = 0
         self.shed = 0
         self.decisions = 0
+        self.tokens_drafted = 0
+        self.tokens_accepted = 0
         self.dirty = False
 
 
@@ -551,6 +562,8 @@ class ServeTelemetry:
             expired=draft.expired + pending.expired,
             shed=draft.shed + pending.shed,
             decisions=draft.decisions,
+            tokens_drafted=draft.tokens_drafted,
+            tokens_accepted=draft.tokens_accepted,
             faults=faults,
             queue_depth=queue_depth,
             queue_depth_by_priority=dict(queue_depth_by_priority),
@@ -624,6 +637,13 @@ class ServeTelemetry:
         draft = self._note()
         if draft is not None:
             draft.decisions += count
+
+    def note_speculation(self, drafted: int, accepted: int) -> None:
+        """Record a speculative decode step's draft/accept totals."""
+        draft = self._note()
+        if draft is not None:
+            draft.tokens_drafted += drafted
+            draft.tokens_accepted += accepted
 
     def note_shed(self) -> None:
         if not self.enabled:

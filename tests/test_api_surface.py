@@ -28,6 +28,8 @@ EXPECTED_ALL = {
     "InferenceServer", "RequestHandle",
     "ContinuousBatchingScheduler", "SchedulerPolicy", "RetryPolicy",
     "GenerationSession", "SessionManager",
+    # Speculative decoding (draft proposers + adaptive draft length).
+    "DraftProposer", "NgramProposer", "AdaptiveK",
     "PrefixCache", "PrefixEntry",
     "RequestMetrics", "ServeCounters", "ServerStats", "ServerHealth",
     # Flight-recorder observability (trace / windows / attribution).
@@ -128,7 +130,8 @@ class TestServeSurface:
                 "ragged_prefill", "enable_prefix_cache", "max_prefixes",
                 "prefill_chunk_size", "step_token_budget",
                 "retry_policy", "shed_queue_depth", "shed_queue_age_s",
-                "health_window_s"} == set(fields)
+                "health_window_s", "speculation",
+                "speculation_k"} == set(fields)
         assert fields["priority_aging_s"] == 30.0
         # Chunked prefill is opt-in: the defaults preserve one-shot prefill
         # with unbounded steps (the pre-chunking engine behaviour).
@@ -138,6 +141,9 @@ class TestServeSurface:
         assert fields["retry_policy"] is None
         assert fields["shed_queue_depth"] is None
         assert fields["shed_queue_age_s"] is None
+        # Speculative decoding is opt-in: sequential decode by default.
+        assert fields["speculation"] == "off"
+        assert fields["speculation_k"] == 4
 
     def test_retry_policy_knobs(self):
         fields = _fields(serve.RetryPolicy)

@@ -168,8 +168,8 @@ class TestFaultInjector:
     def test_site_catalog_is_documented(self):
         assert set(FAULT_SITES) == {
             "runtime.execute_batch", "prefill.band", "prefill.chunk",
-            "decode.step", "decode.logits", "kv.admit", "kv.extend",
-            "prefix.seed"}
+            "decode.step", "decode.logits", "draft.propose", "decode.verify",
+            "kv.admit", "kv.extend", "prefix.seed"}
         for site, where in FAULT_SITES.items():
             assert where, f"site {site!r} has no description"
 
@@ -621,6 +621,127 @@ def _collect(handles):
         value = value.token_ids if hasattr(value, "token_ids") else value
         results.append(("ok", value))
     return results
+
+
+class TestSpeculativeFaults:
+    """Faults at the speculative sites: drafting can never corrupt KV, and a
+    verify-phase fault quarantines only the implicated decode batch with its
+    speculatively-grown KV provably rolled back (pool invariants hold)."""
+
+    POLICY = dict(max_batch_size=4, speculation="ngram", speculation_k=4)
+
+    def test_verify_fault_quarantines_batch_with_rolled_back_kv(self, model):
+        # The adversarial moment: decode.verify fires *after* the multi-token
+        # forward grew KV for every draft token but *before* acceptance — the
+        # quarantine must reclaim the speculative tails too.
+        injector = FaultInjector([FaultSpec(site="decode.verify", at=2)])
+        server = InferenceServer(model, SchedulerPolicy(**self.POLICY),
+                                 fault_injector=injector)
+        doomed = [server.submit(GenerateRequest(
+            prompt="loop loop loop loop loop", max_new_tokens=12,
+            stop_on_eos=False)) for _ in range(2)]
+        server.run_until_idle()
+        assert injector.total_fired == 1
+        for handle in doomed:
+            with pytest.raises(RequestFailed, match="decode step"):
+                handle.result(timeout=5)
+        _invariants(server)
+        assert server._manager.cache.num_sessions == 0  # tails reclaimed
+        # Only the implicated batch died: the engine keeps serving.
+        survivor = server.submit(GenerateRequest(
+            prompt="loop loop loop loop", max_new_tokens=6,
+            stop_on_eos=False))
+        server.run_until_idle()
+        assert len(survivor.result(timeout=5).token_ids) == 6
+        assert server.stats().faults_quarantined == 1
+
+    def test_draft_propose_fault_quarantines_only_running_batch(self, model):
+        # draft.propose fires in the engine's plan pass (pre-drafting, no KV
+        # grown yet); the quarantine implicates the running batch only — a
+        # queued request admitted afterwards completes untouched.
+        injector = FaultInjector([FaultSpec(site="draft.propose", at=2)])
+        server = InferenceServer(
+            model, SchedulerPolicy(prefill_chunk_size=8, step_token_budget=32,
+                                   **self.POLICY),
+            fault_injector=injector)
+        doomed = server.submit(GenerateRequest(
+            prompt="tick tock tick tock tick", max_new_tokens=12,
+            stop_on_eos=False))
+        server.run_until_idle()
+        with pytest.raises(RequestFailed, match="draft propose"):
+            doomed.result(timeout=5)
+        _invariants(server)
+        survivor = server.submit(GenerateRequest(
+            prompt="tick tock tick tock", max_new_tokens=4,
+            stop_on_eos=False))
+        server.run_until_idle()
+        assert len(survivor.result(timeout=5).token_ids) == 4
+
+    def test_verify_corrupt_cannot_break_the_pool(self, model):
+        # A corrupt spec perturbs the verification logits in place: emitted
+        # tokens may diverge (acceptance resamples from corrupted logits) but
+        # the rollback arithmetic is logits-independent — requests complete
+        # and the pool stays sound.
+        injector = FaultInjector(
+            [FaultSpec(site="decode.verify", action="corrupt", every=2,
+                       corrupt_scale=5.0)])
+        server = InferenceServer(model, SchedulerPolicy(**self.POLICY),
+                                 fault_injector=injector)
+        handles = [server.submit(GenerateRequest(
+            prompt="repeat repeat repeat repeat", max_new_tokens=10,
+            stop_on_eos=False)) for _ in range(3)]
+        server.run_until_idle()
+        assert injector.total_fired > 0
+        for handle in handles:
+            assert len(handle.result(timeout=5).token_ids) == 10
+        _invariants(server)
+        assert server._manager.cache.num_sessions == 0
+
+    def test_speculative_chaos_survivors_match_sequential_reference(self, model):
+        """Seeded chaos over a speculative engine: survivors must match the
+        fault-free *non-speculative* run exactly — speculation plus faults
+        plus rollback still never changes a single emitted token."""
+        rng = np.random.default_rng(7)
+        prompts = []
+        for i in range(12):
+            word = f"w{int(rng.integers(0, 4))}"
+            prompts.append(" ".join([word] * int(rng.integers(3, 8))))
+
+        def run(policy_extra, injector=None):
+            server = InferenceServer(
+                model, SchedulerPolicy(max_batch_size=4, **policy_extra),
+                fault_injector=injector)
+            handles = [server.submit(GenerateRequest(
+                prompt=prompt, max_new_tokens=8,
+                temperature=(0.7 if i % 2 else 0.0), seed=500 + i,
+                stop_on_eos=False)) for i, prompt in enumerate(prompts)]
+            server.run_until_idle()
+            outcomes = []
+            for handle in handles:
+                try:
+                    outcomes.append(("ok", handle.result(timeout=5).token_ids))
+                except RequestFailed:
+                    outcomes.append(("failed", None))
+            _invariants(server)
+            return outcomes, server
+
+        reference, _ = run(dict())  # sequential, fault-free
+        injector = FaultInjector([
+            FaultSpec(site="decode.verify", rate=0.10, transient=True),
+            FaultSpec(site="draft.propose", at=4, transient=True),
+        ], seed=21)
+        observed, server = run(
+            dict(speculation="ngram", speculation_k=4,
+                 retry_policy=RetryPolicy(max_attempts=3)),
+            injector=injector)
+        assert injector.total_fired > 0
+        survivors = 0
+        for (kind, tokens), (_, expected) in zip(observed, reference):
+            if kind == "ok":
+                survivors += 1
+                assert tokens == expected  # exact cross-engine parity
+        assert survivors > 0
+        assert server._manager.cache.num_sessions == 0
 
 
 class TestChaosSmoke:
